@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablations of dcl1sim design choices the paper fixes by fiat:
+ *  (1) reply sizing — Sec. III sends cores only the requested bytes;
+ *      +FullLine sends whole 128 B lines over NoC#1;
+ *  (2) DC-L1 node queue depth — the paper's four 128 B entries
+ *      vs. shallower/deeper queues;
+ *  (3) NoC flit width — Table II's 32 B flits vs. 16 B and 64 B;
+ *  (4) L1 replacement policy — LRU (modelled) vs. FIFO and Random.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+#include "common/log.hh"
+
+using namespace dcl1;
+using namespace dcl1::bench;
+
+namespace
+{
+
+double
+ipcOf(const core::SystemConfig &sys, const core::DesignConfig &d,
+      const workload::AppInfo &app, const core::ExperimentOptions &opts)
+{
+    std::fprintf(stderr, "  [run] %-24s %s\n", d.name.c_str(),
+                 app.params.name.c_str());
+    return core::runOnce(sys, d, app.params, opts).ipc;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    Harness h("Design ablations",
+              "Reply sizing, node queue depth, flit width, replacement "
+              "policy");
+    const auto &alexnet = workload::appByName("T-AlexNet");
+    const auto &bfs = workload::appByName("C-BFS");
+    const auto &conv = workload::appByName("P-2DCONV");
+    const auto boost = core::clusteredDcl1(40, 10, true);
+
+    header("(1) reply sizing on NoC#1 (Sec. III claim)");
+    columns("app", {"sector", "fullline"});
+    for (const auto *app : {&alexnet, &bfs, &conv}) {
+        const double base = h.baseline(*app).ipc;
+        row(app->params.name,
+            {h.run(boost, *app).ipc / base,
+             h.run(core::withFullLineReplies(boost), *app).ipc / base},
+            "%9.2f");
+    }
+    std::printf("paper: full-line replies would waste NoC#1 bandwidth; "
+                "expect the fullline column to trail\n");
+
+    header("(2) DC-L1 node queue depth (paper: 4 entries)");
+    columns("depth", {"AlexNet", "C-BFS"});
+    for (std::uint32_t depth : {2u, 4u, 8u, 16u}) {
+        core::SystemConfig sys;
+        sys.nodeQueueCap = depth;
+        row(csprintf("%u", depth),
+            {ipcOf(sys, boost, alexnet, h.opts()),
+             ipcOf(sys, boost, bfs, h.opts())},
+            "%9.2f");
+    }
+    std::printf("(absolute IPC; deeper queues buy little once the "
+                "crossbars, not the queues, limit flow)\n");
+
+    header("(3) NoC flit width (Table II: 32 B)");
+    columns("flit", {"AlexNet", "P-2DCONV"});
+    for (std::uint32_t flit : {16u, 32u, 64u}) {
+        core::SystemConfig sys;
+        sys.flitBytes = flit;
+        row(csprintf("%uB", flit),
+            {ipcOf(sys, boost, alexnet, h.opts()),
+             ipcOf(sys, boost, conv, h.opts())},
+            "%9.2f");
+    }
+    std::printf("(bandwidth-bound apps track the flit width; "
+                "latency-bound apps barely move)\n");
+
+    header("(4) L1/DC-L1 replacement policy (modelled: LRU)");
+    columns("policy", {"AlexNet", "C-BFS"});
+    const mem::ReplPolicy policies[] = {mem::ReplPolicy::Lru,
+                                        mem::ReplPolicy::Fifo,
+                                        mem::ReplPolicy::Random};
+    const char *names[] = {"LRU", "FIFO", "Random"};
+    for (int i = 0; i < 3; ++i) {
+        core::SystemConfig sys;
+        sys.l1Repl = policies[i];
+        row(names[i],
+            {ipcOf(sys, boost, alexnet, h.opts()),
+             ipcOf(sys, boost, bfs, h.opts())},
+            "%9.2f");
+    }
+    std::printf("(uniform reuse makes the policies nearly equivalent; "
+                "the DC-L1 conclusions do not hinge on LRU)\n");
+
+    header("(5) warp scheduler (GPGPU-Sim lrr vs gto)");
+    columns("sched", {"AlexNet", "C-BFS"});
+    {
+        core::SystemConfig lrr, gto;
+        gto.warpScheduler = gpucore::WarpSched::GreedyThenOldest;
+        row("lrr",
+            {ipcOf(lrr, boost, alexnet, h.opts()),
+             ipcOf(lrr, boost, bfs, h.opts())},
+            "%9.2f");
+        row("gto",
+            {ipcOf(gto, boost, alexnet, h.opts()),
+             ipcOf(gto, boost, bfs, h.opts())},
+            "%9.2f");
+    }
+    std::printf("(latency-tolerant throughput workloads are largely "
+                "scheduler-insensitive at this abstraction)\n");
+
+    header("(6) L1 write policy (paper: write-evict; write-back is a "
+           "timing-only ablation, no coherence modelled)");
+    columns("policy", {"AlexNet", "C-BFS"});
+    {
+        core::SystemConfig we, wb;
+        wb.l1WritePolicy = mem::WritePolicy::WriteBack;
+        row("write-evict",
+            {ipcOf(we, boost, alexnet, h.opts()),
+             ipcOf(we, boost, bfs, h.opts())},
+            "%9.2f");
+        row("write-back",
+            {ipcOf(wb, boost, alexnet, h.opts()),
+             ipcOf(wb, boost, bfs, h.opts())},
+            "%9.2f");
+    }
+    std::printf("(write-back removes write-through traffic from NoC#2 "
+                "but would need a coherence protocol in a real GPU)\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+#include "bench/bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dcl1::bench
+{
+
+namespace
+{
+
+/** Bump when RunMetrics serialization or model semantics change. */
+constexpr int kCacheSchema = 3;
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep))
+        out.push_back(item);
+    return out;
+}
+
+} // anonymous namespace
+
+Harness::Harness(const std::string &title, const std::string &what)
+    : opts_(core::ExperimentOptions::fromEnv())
+{
+    if (const char *c = std::getenv("DCL1_CACHE"))
+        cacheFile_ = c;
+    loadCache();
+
+    std::printf("==== %s ====\n", title.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("platform: %s\n", sys_.summary().c_str());
+    std::printf("cycles: %llu measured after %llu warmup%s\n\n",
+                static_cast<unsigned long long>(opts_.measureCycles),
+                static_cast<unsigned long long>(opts_.warmupCycles),
+                cacheFile_.empty() ? "" : " (cached)");
+}
+
+Harness::~Harness()
+{
+    if (cacheDirty_)
+        saveCache();
+}
+
+std::string
+Harness::cacheKey(const core::DesignConfig &design,
+                  const std::string &app) const
+{
+    return csprintf("v%d|%s|%s|%llu|%llu|%llu", kCacheSchema,
+                    design.name.c_str(), app.c_str(),
+                    static_cast<unsigned long long>(opts_.measureCycles),
+                    static_cast<unsigned long long>(opts_.warmupCycles),
+                    static_cast<unsigned long long>(sys_.seed));
+}
+
+const core::RunMetrics &
+Harness::run(const core::DesignConfig &design,
+             const workload::AppInfo &app)
+{
+    const std::string key = cacheKey(design, app.params.name);
+    auto it = results_.find(key);
+    if (it != results_.end())
+        return it->second;
+
+    std::fprintf(stderr, "  [run] %-18s %s\n", design.name.c_str(),
+                 app.params.name.c_str());
+    core::RunMetrics rm = core::runOnce(sys_, design, app.params, opts_);
+    cacheDirty_ = true;
+    return results_.emplace(key, rm).first->second;
+}
+
+double
+Harness::speedup(const core::DesignConfig &design,
+                 const workload::AppInfo &app)
+{
+    const double base = baseline(app).ipc;
+    return base > 0.0 ? run(design, app).ipc / base : 0.0;
+}
+
+std::vector<workload::AppInfo>
+Harness::apps(bool sensitive_only, bool insensitive_only)
+{
+    std::vector<workload::AppInfo> out;
+    std::vector<std::string> filter;
+    if (const char *f = std::getenv("DCL1_APPS"))
+        filter = split(f, ',');
+
+    for (const auto &app : workload::appCatalog()) {
+        if (sensitive_only && !app.replicationSensitive)
+            continue;
+        if (insensitive_only && app.replicationSensitive)
+            continue;
+        if (!filter.empty()) {
+            bool keep = false;
+            for (const auto &name : filter)
+                keep = keep || name == app.params.name;
+            if (!keep)
+                continue;
+        }
+        out.push_back(app);
+    }
+    return out;
+}
+
+void
+Harness::loadCache()
+{
+    if (cacheFile_.empty())
+        return;
+    std::ifstream in(cacheFile_);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto sep = line.find('\t');
+        if (sep == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, sep);
+        const auto vals = split(line.substr(sep + 1), ' ');
+        if (vals.size() != 18)
+            continue;
+        core::RunMetrics rm;
+        int i = 0;
+        rm.cycles = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.instructions = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.ipc = std::strtod(vals[i++].c_str(), nullptr);
+        rm.l1Accesses = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.l1Misses = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.l1MissRate = std::strtod(vals[i++].c_str(), nullptr);
+        rm.replicationRatio = std::strtod(vals[i++].c_str(), nullptr);
+        rm.avgReplicas = std::strtod(vals[i++].c_str(), nullptr);
+        rm.maxL1PortUtil = std::strtod(vals[i++].c_str(), nullptr);
+        rm.maxCoreReplyLinkUtil = std::strtod(vals[i++].c_str(), nullptr);
+        rm.maxMemReplyLinkUtil = std::strtod(vals[i++].c_str(), nullptr);
+        rm.avgReadLatency = std::strtod(vals[i++].c_str(), nullptr);
+        rm.noc1Flits = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.noc2Flits = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.l2Accesses = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.l2Misses = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.dramReads = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        rm.dramWrites = std::strtoull(vals[i++].c_str(), nullptr, 10);
+        results_.emplace(key, rm);
+    }
+}
+
+void
+Harness::saveCache() const
+{
+    if (cacheFile_.empty())
+        return;
+    std::ofstream out(cacheFile_);
+    for (const auto &[key, rm] : results_) {
+        out << key << '\t' << rm.cycles << ' ' << rm.instructions << ' '
+            << rm.ipc << ' ' << rm.l1Accesses << ' ' << rm.l1Misses
+            << ' ' << rm.l1MissRate << ' ' << rm.replicationRatio << ' '
+            << rm.avgReplicas << ' ' << rm.maxL1PortUtil << ' '
+            << rm.maxCoreReplyLinkUtil << ' ' << rm.maxMemReplyLinkUtil
+            << ' ' << rm.avgReadLatency << ' ' << rm.noc1Flits << ' '
+            << rm.noc2Flits << ' ' << rm.l2Accesses << ' '
+            << rm.l2Misses << ' ' << rm.dramReads << ' '
+            << rm.dramWrites << '\n';
+    }
+}
+
+void
+header(const std::string &title)
+{
+    std::printf("\n-- %s --\n", title.c_str());
+}
+
+void
+row(const std::string &label, const std::vector<double> &values,
+    const char *fmt)
+{
+    std::printf("%-14s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+void
+columns(const std::string &label, const std::vector<std::string> &names)
+{
+    std::printf("%-14s", label.c_str());
+    for (const auto &n : names)
+        std::printf("%8s", n.c_str());
+    std::printf("\n");
+}
+
+} // namespace dcl1::bench

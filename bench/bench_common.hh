@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks.
+ *
+ * Every bench binary reproduces one table or figure: it runs the
+ * required (design, application) grid on the Table II platform and
+ * prints the same rows/series the paper reports, normalized to the
+ * private-L1 baseline.
+ *
+ * Environment:
+ *   DCL1_CYCLES / DCL1_WARMUP - simulation length per run
+ *   DCL1_CACHE=<file>         - optional cross-binary result cache
+ *   DCL1_APPS=a,b,c           - restrict the app set (smoke runs)
+ */
+
+#ifndef DCL1_BENCH_BENCH_COMMON_HH
+#define DCL1_BENCH_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "workload/app_catalog.hh"
+
+namespace dcl1::bench
+{
+
+/** Shared bench state: platform, cycle budget, result cache. */
+class Harness
+{
+  public:
+    /**
+     * @param title human title, e.g. "Figure 14"
+     * @param what one-line description of what is reproduced
+     */
+    Harness(const std::string &title, const std::string &what);
+    ~Harness();
+
+    /** Run (or fetch from cache) one simulation. */
+    const core::RunMetrics &run(const core::DesignConfig &design,
+                                const workload::AppInfo &app);
+
+    /** Baseline metrics for @p app (cached like any run). */
+    const core::RunMetrics &
+    baseline(const workload::AppInfo &app)
+    {
+        return run(core::baselineDesign(), app);
+    }
+
+    /** IPC speedup of @p design over baseline for @p app. */
+    double speedup(const core::DesignConfig &design,
+                   const workload::AppInfo &app);
+
+    /** Apps honouring the DCL1_APPS filter. */
+    std::vector<workload::AppInfo> apps(bool sensitive_only = false,
+                                        bool insensitive_only = false);
+
+    const core::SystemConfig &sys() const { return sys_; }
+    const core::ExperimentOptions &opts() const { return opts_; }
+
+  private:
+    std::string cacheKey(const core::DesignConfig &design,
+                         const std::string &app) const;
+    void loadCache();
+    void saveCache() const;
+
+    core::SystemConfig sys_;
+    core::ExperimentOptions opts_;
+    std::string cacheFile_;
+    std::map<std::string, core::RunMetrics> results_;
+    bool cacheDirty_ = false;
+};
+
+/// @name Table formatting helpers
+/// @{
+
+/** Print a section header. */
+void header(const std::string &title);
+
+/** Print a row label followed by a series of values. */
+void row(const std::string &label, const std::vector<double> &values,
+         const char *fmt = "%8.3f");
+
+/** Print a column-header row. */
+void columns(const std::string &label,
+             const std::vector<std::string> &names);
+
+/// @}
+
+} // namespace dcl1::bench
+
+#endif // DCL1_BENCH_BENCH_COMMON_HH

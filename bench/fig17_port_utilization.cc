@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 17: maximum L1/DC-L1 data-port utilization per application
+ * (ascending) for the baseline and the proposed designs — aggregation
+ * raises per-port utilization because fewer DC-L1s serve the same
+ * traffic.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace dcl1;
+using namespace dcl1::bench;
+
+int
+main()
+{
+    Harness h("Figure 17",
+              "Max L1/DC-L1 data-port utilization per design");
+
+    const std::vector<core::DesignConfig> designs = {
+        core::baselineDesign(), core::privateDcl1(40),
+        core::sharedDcl1(40), core::clusteredDcl1(40, 10),
+        core::clusteredDcl1(40, 10, true)};
+
+    for (const auto &d : designs) {
+        std::vector<std::pair<double, std::string>> util;
+        for (const auto &app : h.apps())
+            util.emplace_back(h.run(d, app).maxL1PortUtil,
+                              app.params.name);
+        std::sort(util.begin(), util.end());
+        header(d.name + " (ascending port utilization)");
+        for (const auto &[u, name] : util)
+            std::printf("%-14s %6.1f%%\n", name.c_str(), 100.0 * u);
+    }
+    std::printf("\npaper: all DC-L1 designs show higher per-port "
+                "utilization than the baseline's max of 18%%\n");
+    return 0;
+}

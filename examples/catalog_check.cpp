@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Calibration sweep: every app against the paper's Fig. 1 criteria
+ * (replication ratio, miss rate, 16x-capacity speedup) and the design
+ * speedups. Slow (28 apps x 7 runs); used during development.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "workload/app_catalog.hh"
+
+using namespace dcl1;
+
+int
+main(int argc, char **argv)
+{
+    core::SystemConfig sys;
+    const auto opts = core::ExperimentOptions::fromEnv();
+    const std::string only = argc > 1 ? argv[1] : "";
+
+    std::printf("%-13s %s %6s %6s %7s | %6s %6s %6s %6s %6s\n", "app",
+                "C", "repl", "l1mr", "16x", "Pr80", "Pr40", "Sh40",
+                "C10", "Boost");
+    for (const auto &app : workload::appCatalog()) {
+        if (!only.empty() && app.params.name != only)
+            continue;
+        const auto base =
+            core::runOnce(sys, core::baselineDesign(), app.params, opts);
+        const auto big = core::runOnce(
+            sys, core::withCapacityScale(core::baselineDesign(), 16.0),
+            app.params, opts);
+        double sp[5];
+        const core::DesignConfig designs[5] = {
+            core::privateDcl1(80), core::privateDcl1(40),
+            core::sharedDcl1(40), core::clusteredDcl1(40, 10),
+            core::clusteredDcl1(40, 10, true)};
+        for (int i = 0; i < 5; ++i) {
+            sp[i] = core::runOnce(sys, designs[i], app.params, opts).ipc /
+                    base.ipc;
+        }
+        std::printf("%-13s %c %6.3f %6.3f %6.2fx | %6.2f %6.2f %6.2f "
+                    "%6.2f %6.2f\n",
+                    app.params.name.c_str(),
+                    app.replicationSensitive ? 'S'
+                    : app.poorUnderSh40      ? 'P'
+                                             : '-',
+                    base.replicationRatio, base.l1MissRate,
+                    big.ipc / base.ipc, sp[0], sp[1], sp[2], sp[3],
+                    sp[4]);
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/** @file Scratch probe: dump detailed RunMetrics for one app/design. */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/gpu_system.hh"
+#include "workload/app_catalog.hh"
+
+using namespace dcl1;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "T-AlexNet";
+    const std::string design_name = argc > 2 ? argv[2] : "all";
+    const workload::AppInfo &app = workload::appByName(app_name);
+
+    core::SystemConfig sys;
+    const auto opts = core::ExperimentOptions::fromEnv();
+
+    std::vector<core::DesignConfig> designs = {
+        core::baselineDesign(),       core::privateDcl1(80),
+        core::privateDcl1(40),        core::sharedDcl1(40),
+        core::clusteredDcl1(40, 10),  core::clusteredDcl1(40, 10, true),
+    };
+
+    std::printf("%-16s %7s %6s %6s %6s %7s %7s %9s %9s %9s %8s %8s\n",
+                "design", "IPC", "l1mr", "repl", "l2mr", "lat",
+                "preLat", "l1acc", "noc1Fl", "noc2Fl", "dramR", "dramW");
+    for (const auto &d : designs) {
+        if (design_name != "all" && d.name != design_name)
+            continue;
+        core::GpuSystem gpu(sys, d, app.params);
+        gpu.run(opts.measureCycles, opts.warmupCycles);
+        auto rm = gpu.metrics();
+        double pre_sum = 0, pre_n = 0;
+        for (auto &c : gpu.cores()) {
+            pre_sum += c->avgPreServiceLatency() * c->readsCompleted();
+            pre_n += c->readsCompleted();
+        }
+        const double pre = pre_n ? pre_sum / pre_n : 0;
+        std::uint64_t blocked = 0, merges = 0, lsu_stalls = 0;
+        auto bank_stats = [&](mem::CacheBank &b) {
+            blocked += b.blockedEvents();
+            merges += b.mshrMerges();
+        };
+        for (auto &c : gpu.cores()) {
+            if (c->l1())
+                bank_stats(*c->l1());
+            if (auto *sc = c->statGroup().findScalar("lsu_stalls"))
+                lsu_stalls += sc->value();
+        }
+        for (auto &n : gpu.nodes())
+            bank_stats(n->cache());
+        std::printf("   blocked=%llu merges=%llu lsuStalls=%llu\n",
+                    (unsigned long long)blocked,
+                    (unsigned long long)merges,
+                    (unsigned long long)lsu_stalls);
+        const double l2mr =
+            rm.l2Accesses ? double(rm.l2Misses) / rm.l2Accesses : 0;
+        std::printf(
+            "%-16s %7.3f %6.3f %6.3f %6.3f %7.1f %7.3f %9llu %9llu "
+            "%9llu %8llu %8llu\n",
+            d.name.c_str(), rm.ipc, rm.l1MissRate, rm.replicationRatio,
+            l2mr, rm.avgReadLatency, pre,
+            (unsigned long long)rm.l1Accesses,
+            (unsigned long long)rm.noc1Flits,
+            (unsigned long long)rm.noc2Flits,
+            (unsigned long long)rm.dramReads,
+            (unsigned long long)rm.dramWrites);
+    }
+    return 0;
+}

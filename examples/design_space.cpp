@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Design-space exploration: sweep DC-L1 node counts and cluster counts
+ * for one application and report performance, miss rate, NoC area and
+ * static power — the trade-off study at the heart of the paper.
+ *
+ * Usage: design_space [app-name] (default C-BFS)
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "power/xbar_model.hh"
+#include "workload/app_catalog.hh"
+
+using namespace dcl1;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "C-BFS";
+    const workload::AppInfo &app = workload::appByName(app_name);
+
+    core::SystemConfig sys;
+    const auto opts = core::ExperimentOptions::fromEnv();
+    power::XbarModel noc_model;
+
+    const auto base =
+        core::runOnce(sys, core::baselineDesign(), app.params, opts);
+    const auto base_cost = noc_model.cost(
+        core::crossbarInventory(core::baselineDesign(), sys));
+
+    std::printf("design space for %s (baseline IPC %.2f)\n",
+                app_name.c_str(), base.ipc);
+    std::printf("%-16s %8s %9s %8s %8s\n", "design", "speedup",
+                "missrate", "nocArea", "nocPwr");
+
+    std::vector<core::DesignConfig> designs;
+    for (std::uint32_t y : {80u, 40u, 20u, 10u})
+        designs.push_back(core::privateDcl1(y));
+    for (std::uint32_t z : {1u, 5u, 10u, 20u})
+        designs.push_back(core::clusteredDcl1(40, z));
+    designs.push_back(core::clusteredDcl1(40, 10, /*boost=*/true));
+
+    for (const auto &d : designs) {
+        const auto rm = core::runOnce(sys, d, app.params, opts);
+        const auto cost =
+            noc_model.cost(core::crossbarInventory(d, sys));
+        std::printf("%-16s %7.2fx %9.3f %8.2f %8.2f\n", d.name.c_str(),
+                    rm.ipc / base.ipc, rm.l1MissRate,
+                    cost.areaMm2 / base_cost.areaMm2,
+                    cost.staticPowerW / base_cost.staticPowerW);
+    }
+    std::printf("\n(areas and power are normalized to the baseline "
+                "80x32 NoC)\n");
+    return 0;
+}

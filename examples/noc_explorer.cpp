@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Standalone NoC model exploration: area, static power, maximum
+ * frequency and per-flit energy for arbitrary crossbar geometries —
+ * the DSENT-like model without any simulation.
+ *
+ * Usage: noc_explorer [inputs outputs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/design.hh"
+#include "power/xbar_model.hh"
+
+using namespace dcl1;
+using namespace dcl1::core;
+using namespace dcl1::power;
+
+int
+main(int argc, char **argv)
+{
+    XbarModel model;
+
+    if (argc == 3) {
+        const std::uint32_t in = std::atoi(argv[1]);
+        const std::uint32_t out = std::atoi(argv[2]);
+        XbarGeometry g{in, out, 1, 0.5, 12.3, 2};
+        std::printf("%ux%u crossbar: area %.4f mm2, static %.4f W, "
+                    "fmax %.2f GHz, %.2f pJ/flit\n",
+                    in, out, model.area(g), model.staticPower(g),
+                    model.maxFrequencyGHz(in, out),
+                    model.flitEnergyPj(g));
+        return 0;
+    }
+
+    SystemConfig sys;
+    std::printf("NoC cost of every design (normalized to baseline):\n");
+    std::printf("%-16s %8s %8s %10s\n", "design", "area", "static",
+                "minFmax");
+    const NocCost base =
+        model.cost(crossbarInventory(baselineDesign(), sys));
+    for (const auto &d :
+         {baselineDesign(), privateDcl1(80), privateDcl1(40),
+          privateDcl1(20), privateDcl1(10), sharedDcl1(40),
+          clusteredDcl1(40, 5), clusteredDcl1(40, 10),
+          clusteredDcl1(40, 20), cdxbarDesign(false, false)}) {
+        const auto inv = crossbarInventory(d, sys);
+        const NocCost c = model.cost(inv);
+        double fmin = 1e9;
+        for (const auto &g : inv) {
+            const double f =
+                model.maxFrequencyGHz(g.numInputs, g.numOutputs);
+            fmin = f < fmin ? f : fmin;
+        }
+        std::printf("%-16s %8.2f %8.2f %8.2fGHz\n", d.name.c_str(),
+                    c.areaMm2 / base.areaMm2,
+                    c.staticPowerW / base.staticPowerW, fmin);
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Quickstart: build the baseline GPU and the paper's final design
+ * (Sh40+C10+Boost), run one application on both, and print the
+ * headline metrics.
+ *
+ * Usage: quickstart [app-name] (default T-AlexNet)
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "workload/app_catalog.hh"
+
+using namespace dcl1;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "T-AlexNet";
+    const workload::AppInfo &app = workload::appByName(app_name);
+
+    core::SystemConfig sys;
+    const auto opts = core::ExperimentOptions::fromEnv();
+
+    std::printf("dcl1sim quickstart: %s on [%s]\n", app_name.c_str(),
+                sys.summary().c_str());
+    std::printf("%-18s %8s %8s %8s %8s %8s\n", "design", "IPC",
+                "missrate", "repl", "portutil", "lat");
+
+    for (const core::DesignConfig &design :
+         {core::baselineDesign(),
+          core::clusteredDcl1(40, 10, /*boost=*/true)}) {
+        const core::RunMetrics rm =
+            core::runOnce(sys, design, app.params, opts);
+        std::printf("%-18s %8.3f %8.3f %8.3f %8.3f %8.1f\n",
+                    design.name.c_str(), rm.ipc, rm.l1MissRate,
+                    rm.replicationRatio, rm.maxL1PortUtil,
+                    rm.avgReadLatency);
+    }
+    return 0;
+}

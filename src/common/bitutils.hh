@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across modules.
+ */
+
+#ifndef DCL1_COMMON_BITUTILS_HH
+#define DCL1_COMMON_BITUTILS_HH
+
+#include <cstdint>
+
+namespace dcl1
+{
+
+/** @return true iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); v must be nonzero. */
+constexpr std::uint32_t
+log2Floor(std::uint64_t v)
+{
+    std::uint32_t r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** @return ceil(log2(v)); v must be nonzero. */
+constexpr std::uint32_t
+log2Ceil(std::uint64_t v)
+{
+    return v <= 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+/** @return ceil(a / b) for b != 0. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace dcl1
+
+#endif // DCL1_COMMON_BITUTILS_HH

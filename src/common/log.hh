@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error / status reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user supplied an impossible configuration; exits(1).
+ * warn()   - something is modelled approximately; simulation continues.
+ * inform() - status message with no negative connotation.
+ */
+
+#ifndef DCL1_COMMON_LOG_HH
+#define DCL1_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace dcl1
+{
+
+/** Verbosity for inform(); warnings and errors always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Process-wide log level (default Normal). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** Abort with a printf-style message: simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a printf-style message: user/configuration error. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr (suppressed when Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace dcl1
+
+#endif // DCL1_COMMON_LOG_HH

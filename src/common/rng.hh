@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic, fast pseudo-random number generator (xoshiro256**).
+ *
+ * Simulation results must be reproducible across runs and platforms, so
+ * all stochastic components draw from per-component Rng instances seeded
+ * from the experiment seed; std::rand and std::mt19937 are avoided for
+ * speed and cross-library stability.
+ */
+
+#ifndef DCL1_COMMON_RNG_HH
+#define DCL1_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dcl1
+{
+
+/** xoshiro256** generator with convenience draws. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (splitmix64-expanded). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style multiply-shift; bias is negligible for our bounds.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace dcl1
+
+#endif // DCL1_COMMON_RNG_HH

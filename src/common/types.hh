@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used throughout dcl1sim.
+ *
+ * The conventions follow the paper's Table II platform: 128 B cache
+ * lines, 256 B L2 interleave chunks, 32 B NoC flits.
+ */
+
+#ifndef DCL1_COMMON_TYPES_HH
+#define DCL1_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dcl1
+{
+
+/** Byte address in the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** Cache-line index (Addr >> log2(lineBytes)). */
+using LineAddr = std::uint64_t;
+
+/** Simulation time in core-clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a GPU core (compute unit). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a DC-L1 node. */
+using NodeId = std::uint32_t;
+
+/** Identifier of an L2 slice. */
+using SliceId = std::uint32_t;
+
+/** Identifier of a wavefront within a core. */
+using WarpId = std::uint32_t;
+
+/** Sentinel for "no id". */
+inline constexpr std::uint32_t invalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Sentinel cycle meaning "never". */
+inline constexpr Cycle cycleNever = std::numeric_limits<Cycle>::max();
+
+/** Default line size (bytes) used across the hierarchy. */
+inline constexpr std::uint32_t defaultLineBytes = 128;
+
+/** Default NoC flit size (bytes). */
+inline constexpr std::uint32_t defaultFlitBytes = 32;
+
+/** Default L2 address-interleave chunk (bytes). */
+inline constexpr std::uint32_t defaultChunkBytes = 256;
+
+} // namespace dcl1
+
+#endif // DCL1_COMMON_TYPES_HH

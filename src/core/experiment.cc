@@ -1,0 +1,64 @@
+#include "core/experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace dcl1::core
+{
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opts;
+    if (const char *s = std::getenv("DCL1_CYCLES")) {
+        const long v = std::atol(s);
+        if (v <= 0)
+            fatal("DCL1_CYCLES must be positive, got '%s'", s);
+        opts.measureCycles = static_cast<Cycle>(v);
+    }
+    if (const char *s = std::getenv("DCL1_WARMUP")) {
+        const long v = std::atol(s);
+        if (v < 0)
+            fatal("DCL1_WARMUP must be non-negative, got '%s'", s);
+        opts.warmupCycles = static_cast<Cycle>(v);
+    }
+    return opts;
+}
+
+RunMetrics
+runOnce(const SystemConfig &sys, const DesignConfig &design,
+        const workload::WorkloadParams &app, const ExperimentOptions &opts)
+{
+    GpuSystem gpu(sys, design, app);
+    gpu.run(opts.measureCycles, opts.warmupCycles);
+    return gpu.metrics();
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geoMean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / double(values.size());
+}
+
+} // namespace dcl1::core

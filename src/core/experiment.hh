@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Experiment runner: one simulation per (platform, design, app), with
+ * environment-controlled cycle budgets, plus small aggregation helpers
+ * used by the benchmark harnesses.
+ */
+
+#ifndef DCL1_CORE_EXPERIMENT_HH
+#define DCL1_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/design.hh"
+#include "core/gpu_system.hh"
+#include "core/system_config.hh"
+#include "workload/app_catalog.hh"
+
+namespace dcl1::core
+{
+
+/** Simulation length control. */
+struct ExperimentOptions
+{
+    Cycle measureCycles = 30000;
+    Cycle warmupCycles = 40000;
+
+    /**
+     * Read DCL1_CYCLES / DCL1_WARMUP from the environment (defaults
+     * above). Lets users trade fidelity for runtime.
+     */
+    static ExperimentOptions fromEnv();
+};
+
+/** Run one simulation and return its metrics. */
+RunMetrics runOnce(const SystemConfig &sys, const DesignConfig &design,
+                   const workload::WorkloadParams &app,
+                   const ExperimentOptions &opts);
+
+/** Geometric mean of strictly positive values. */
+double geoMean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace dcl1::core
+
+#endif // DCL1_CORE_EXPERIMENT_HH

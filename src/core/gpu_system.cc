@@ -1,0 +1,760 @@
+#include "core/gpu_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "noc/packet.hh"
+
+namespace dcl1::core
+{
+
+GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
+                     const workload::WorkloadParams &app,
+                     std::unique_ptr<workload::TraceSource> source)
+    : sys_(sys), design_(design),
+      addrMap_(sys.numL2Slices, sys.numChannels, sys.chunkBytes)
+{
+    design_.validate(sys_);
+    buildCommon(app, std::move(source));
+    switch (design_.topology) {
+      case Topology::PrivateBaseline:
+        buildBaseline();
+        break;
+      case Topology::CdXbar:
+        buildCdx();
+        break;
+      case Topology::DcL1:
+        buildDcl1();
+        break;
+    }
+}
+
+GpuSystem::~GpuSystem() = default;
+
+mem::CacheBankParams
+GpuSystem::l1BankParams() const
+{
+    mem::CacheBankParams p;
+    p.name = "l1";
+    p.sizeBytes = design_.l1SizeFor(sys_);
+    p.assoc = sys_.l1Assoc;
+    p.lineBytes = sys_.lineBytes;
+    p.latency = design_.l1LatencyFor(sys_);
+    p.mshrs = sys_.l1Mshrs;
+    p.targetsPerMshr = sys_.l1TargetsPerMshr;
+    p.policy = sys_.l1WritePolicy;
+    p.repl = sys_.l1Repl;
+    p.perfect = design_.perfectL1;
+    if (design_.topology == Topology::DcL1) {
+        // Aggregated nodes serve several cores: scale the MSHR file
+        // with the aggregation factor (capacity is aggregated), and
+        // scale the merge-target capacity with the worst-case sharing
+        // degree so cross-core merging does not head-of-line block Q1.
+        p.mshrs = sys_.l1Mshrs * design_.coresPerNode(sys_);
+        const std::uint32_t sharers = design_.coresPerCluster(sys_);
+        p.targetsPerMshr = sys_.l1TargetsPerMshr *
+                           std::max<std::uint32_t>(1, sharers / 4);
+        p.downstreamCap = 8 * design_.coresPerNode(sys_);
+    }
+    // Larger caches need associativity to scale a little for LRU not
+    // to be the bottleneck in capacity studies (16x L1 of Fig. 1).
+    if (design_.l1CapacityScale > 1.0)
+        p.assoc = sys_.l1Assoc * 2;
+    return p;
+}
+
+mem::CacheBankParams
+GpuSystem::l2BankParams() const
+{
+    mem::CacheBankParams p;
+    p.name = "l2";
+    p.sizeBytes = sys_.l2SliceSizeBytes;
+    p.assoc = sys_.l2Assoc;
+    p.lineBytes = sys_.lineBytes;
+    p.latency = sys_.l2Latency;
+    p.mshrs = sys_.l2Mshrs;
+    p.targetsPerMshr = sys_.l2TargetsPerMshr;
+    p.downstreamCap = 16;
+    p.policy = mem::WritePolicy::WriteBack;
+    p.repl = sys_.l2Repl;
+    return p;
+}
+
+void
+GpuSystem::buildCommon(const workload::WorkloadParams &app,
+                       std::unique_ptr<workload::TraceSource> source)
+{
+    if (source) {
+        source_ = std::move(source);
+    } else {
+        workload::WorkloadParams wl = app;
+        if (design_.distributedCta) {
+            // The distributed CTA scheduler [28] maps nearby CTAs to
+            // the same core, confining each core's shared accesses to
+            // a range small enough that even a private L1 captures
+            // much of it (this is why the scheduler shrinks the
+            // paper's DC-L1 headroom).
+            wl.ctaLocality = std::max(wl.ctaLocality, 0.85);
+        }
+        source_ = std::make_unique<workload::SyntheticSource>(
+            wl, sys_.numCores, sys_.lineBytes, sys_.seed);
+    }
+
+    const std::uint32_t tracked_caches =
+        design_.topology == Topology::DcL1 ? design_.numNodes
+                                           : sys_.numCores;
+    tracker_ = std::make_unique<mem::ReplicationTracker>(tracked_caches);
+
+    // Memory side is common to all topologies.
+    for (std::uint32_t c = 0; c < sys_.numChannels; ++c) {
+        mem::DramParams dp = sys_.dram;
+        dp.name = "dram" + std::to_string(c);
+        dp.chunkBytes = sys_.chunkBytes;
+        dp.numChannels = sys_.numChannels;
+        channels_.push_back(std::make_unique<mem::DramChannel>(dp));
+    }
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        mem::CacheBankParams l2p = l2BankParams();
+        l2p.name = "l2s" + std::to_string(s);
+        slices_.push_back(std::make_unique<mem::L2Slice>(
+            l2p, s, channels_[addrMap_.channelOfSlice(s)].get()));
+    }
+}
+
+void
+GpuSystem::buildBaseline()
+{
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        gpucore::LiteCoreParams cp;
+        cp.id = c;
+        cp.sched = sys_.warpScheduler;
+        cp.lineBytes = sys_.lineBytes;
+        cp.hasL1 = true;
+        cp.l1 = l1BankParams();
+        cores_.push_back(std::make_unique<gpucore::LiteCore>(
+            cp, source_.get(), tracker_.get()));
+    }
+
+    noc::XbarParams req;
+    req.name = "noc.req";
+    req.numInputs = sys_.numCores;
+    req.numOutputs = sys_.numL2Slices;
+    req.clockRatio = design_.noc2ClockRatio;
+    mainReq_ = std::make_unique<noc::Crossbar>(req);
+
+    noc::XbarParams rep;
+    rep.name = "noc.reply";
+    rep.numInputs = sys_.numL2Slices;
+    rep.numOutputs = sys_.numCores;
+    rep.clockRatio = design_.noc2ClockRatio;
+    mainReply_ = std::make_unique<noc::Crossbar>(rep);
+}
+
+void
+GpuSystem::buildCdx()
+{
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        gpucore::LiteCoreParams cp;
+        cp.id = c;
+        cp.sched = sys_.warpScheduler;
+        cp.lineBytes = sys_.lineBytes;
+        cp.hasL1 = true;
+        cp.l1 = l1BankParams();
+        cores_.push_back(std::make_unique<gpucore::LiteCore>(
+            cp, source_.get(), tracker_.get()));
+    }
+
+    noc::CdxParams req;
+    req.name = "cdx.req";
+    req.direction = noc::CdxDirection::Concentrate;
+    req.clusters = design_.cdxClusters;
+    req.perCluster = sys_.numCores / design_.cdxClusters;
+    req.trunksPerCluster = design_.cdxTrunksPerCluster;
+    req.globalPorts = sys_.numL2Slices;
+    req.localClockRatio = design_.cdxLocalClockRatio;
+    req.globalClockRatio = design_.cdxGlobalClockRatio;
+    cdxReq_ = std::make_unique<noc::CdXbarNet>(req);
+
+    noc::CdxParams rep = req;
+    rep.name = "cdx.reply";
+    rep.direction = noc::CdxDirection::Distribute;
+    cdxReply_ = std::make_unique<noc::CdXbarNet>(rep);
+}
+
+void
+GpuSystem::buildDcl1()
+{
+    org_ = std::make_unique<Organization>(design_, sys_);
+
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        gpucore::LiteCoreParams cp;
+        cp.id = c;
+        cp.sched = sys_.warpScheduler;
+        cp.lineBytes = sys_.lineBytes;
+        cp.hasL1 = false; // the paper's "Lite Core"
+        cores_.push_back(std::make_unique<gpucore::LiteCore>(
+            cp, source_.get(), nullptr));
+    }
+
+    for (NodeId n = 0; n < design_.numNodes; ++n) {
+        nodes_.push_back(std::make_unique<DcL1Node>(
+            l1BankParams(), n, sys_.nodeQueueCap, tracker_.get(),
+            design_.fullLineReplies));
+    }
+
+    const std::uint32_t z = design_.clusters;
+    const std::uint32_t n_per = org_->coresPerCluster();
+    const std::uint32_t m = org_->nodesPerCluster();
+
+    for (std::uint32_t zi = 0; zi < z; ++zi) {
+        noc::XbarParams req;
+        req.name = "noc1.req" + std::to_string(zi);
+        req.numInputs = n_per;
+        req.numOutputs = m;
+        req.clockRatio = design_.noc1ClockRatio;
+        noc1Req_.push_back(std::make_unique<noc::Crossbar>(req));
+
+        noc::XbarParams rep;
+        rep.name = "noc1.reply" + std::to_string(zi);
+        rep.numInputs = m;
+        rep.numOutputs = n_per;
+        rep.clockRatio = design_.noc1ClockRatio;
+        noc1Reply_.push_back(std::make_unique<noc::Crossbar>(rep));
+    }
+
+    if (org_->partitionedNoc2()) {
+        const std::uint32_t slices_per = sys_.numL2Slices / m;
+        for (std::uint32_t g = 0; g < m; ++g) {
+            noc::XbarParams req;
+            req.name = "noc2.req" + std::to_string(g);
+            req.numInputs = z;
+            req.numOutputs = slices_per;
+            req.clockRatio = design_.noc2ClockRatio;
+            noc2Req_.push_back(std::make_unique<noc::Crossbar>(req));
+
+            noc::XbarParams rep;
+            rep.name = "noc2.reply" + std::to_string(g);
+            rep.numInputs = slices_per;
+            rep.numOutputs = z;
+            rep.clockRatio = design_.noc2ClockRatio;
+            noc2Reply_.push_back(std::make_unique<noc::Crossbar>(rep));
+        }
+    } else {
+        noc::XbarParams req;
+        req.name = "noc2.req";
+        req.numInputs = design_.numNodes;
+        req.numOutputs = sys_.numL2Slices;
+        req.clockRatio = design_.noc2ClockRatio;
+        noc2Req_.push_back(std::make_unique<noc::Crossbar>(req));
+
+        noc::XbarParams rep;
+        rep.name = "noc2.reply";
+        rep.numInputs = sys_.numL2Slices;
+        rep.numOutputs = design_.numNodes;
+        rep.clockRatio = design_.noc2ClockRatio;
+        noc2Reply_.push_back(std::make_unique<noc::Crossbar>(rep));
+    }
+}
+
+void
+GpuSystem::tickMemory()
+{
+    for (std::uint32_t c = 0; c < sys_.numChannels; ++c) {
+        channels_[c]->tick(cycle_);
+        while (auto done = channels_[c]->takeCompleted(cycle_)) {
+            const SliceId s = (*done)->slice;
+            if (s >= slices_.size())
+                panic("DRAM reply with bad slice %u", s);
+            slices_[s]->onDramReply(std::move(*done), cycle_);
+        }
+    }
+    for (auto &slice : slices_)
+        slice->tick(cycle_);
+}
+
+void
+GpuSystem::tickOnce()
+{
+    ++cycle_;
+    tickMemory();
+    switch (design_.topology) {
+      case Topology::PrivateBaseline:
+        tickBaseline();
+        break;
+      case Topology::CdXbar:
+        tickCdx();
+        break;
+      case Topology::DcL1:
+        tickDcl1();
+        break;
+    }
+}
+
+void
+GpuSystem::tickBaseline()
+{
+    // L2 replies -> reply crossbar.
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        while (mainReply_->canInject(s)) {
+            auto reply = slices_[s]->takeReply();
+            if (!reply)
+                break;
+            noc::Packet pkt;
+            pkt.src = s;
+            pkt.dst = (*reply)->core;
+            pkt.flits = noc::flitsFor(**reply, sys_.flitBytes);
+            pkt.req = std::move(*reply);
+            mainReply_->inject(std::move(pkt));
+        }
+    }
+
+    mainReq_->tick();
+    mainReply_->tick();
+
+    // Request ejection -> L2 slices (with backpressure).
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        while (mainReq_->hasEjectable(s) && slices_[s]->canAcceptRequest()) {
+            auto pkt = mainReq_->eject(s);
+            slices_[s]->pushRequest(std::move(pkt->req));
+        }
+    }
+    // Reply ejection -> cores.
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        while (mainReply_->hasEjectable(c)) {
+            auto pkt = mainReply_->eject(c);
+            cores_[c]->deliverReply(std::move(pkt->req), cycle_);
+        }
+    }
+
+    // Core outbound (L1 misses, write-throughs, atomics, bypass).
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        while (cores_[c]->hasOutbound() && mainReq_->canInject(c)) {
+            auto req = cores_[c]->takeOutbound();
+            (*req)->slice = addrMap_.slice((*req)->addr);
+            noc::Packet pkt;
+            pkt.src = c;
+            pkt.dst = (*req)->slice;
+            pkt.flits = noc::flitsFor(**req, sys_.flitBytes);
+            pkt.req = std::move(*req);
+            mainReq_->inject(std::move(pkt));
+        }
+        cores_[c]->tick(cycle_);
+    }
+}
+
+void
+GpuSystem::tickCdx()
+{
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        while (cdxReply_->canInject(s)) {
+            auto reply = slices_[s]->takeReply();
+            if (!reply)
+                break;
+            const CoreId dst = (*reply)->core;
+            const std::uint32_t flits =
+                noc::flitsFor(**reply, sys_.flitBytes);
+            cdxReply_->inject(s, dst, std::move(*reply), flits);
+        }
+    }
+
+    cdxReq_->tick();
+    cdxReply_->tick();
+
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        while (slices_[s]->canAcceptRequest()) {
+            auto req = cdxReq_->eject(s);
+            if (!req)
+                break;
+            slices_[s]->pushRequest(std::move(*req));
+        }
+    }
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        while (auto reply = cdxReply_->eject(c))
+            cores_[c]->deliverReply(std::move(*reply), cycle_);
+    }
+
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        while (cores_[c]->hasOutbound() && cdxReq_->canInject(c)) {
+            auto req = cores_[c]->takeOutbound();
+            (*req)->slice = addrMap_.slice((*req)->addr);
+            const std::uint32_t flits =
+                noc::flitsFor(**req, sys_.flitBytes);
+            const SliceId dst = (*req)->slice;
+            cdxReq_->inject(c, dst, std::move(*req), flits);
+        }
+        cores_[c]->tick(cycle_);
+    }
+}
+
+void
+GpuSystem::tickDcl1()
+{
+    const std::uint32_t m = org_->nodesPerCluster();
+    const std::uint32_t n_per = org_->coresPerCluster();
+    const bool partitioned = org_->partitionedNoc2();
+
+    // L2 replies -> NoC#2 reply crossbars.
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        const std::uint32_t g = partitioned ? s % m : 0;
+        const std::uint32_t in = partitioned ? s / m : s;
+        noc::Crossbar &xbar = *noc2Reply_[g];
+        while (xbar.canInject(in)) {
+            auto reply = slices_[s]->takeReply();
+            if (!reply)
+                break;
+            ++dbgL2Replies;
+            const NodeId node = (*reply)->homeNode;
+            noc::Packet pkt;
+            pkt.src = in;
+            pkt.dst = partitioned ? org_->clusterOfNode(node) : node;
+            pkt.flits = noc::flitsFor(**reply, sys_.flitBytes);
+            pkt.req = std::move(*reply);
+            xbar.inject(std::move(pkt));
+        }
+    }
+
+    for (auto &x : noc1Req_)
+        x->tick();
+    for (auto &x : noc1Reply_)
+        x->tick();
+    for (auto &x : noc2Req_)
+        x->tick();
+    for (auto &x : noc2Reply_)
+        x->tick();
+
+    // NoC#2 ejections.
+    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+        const std::uint32_t g = partitioned ? s % m : 0;
+        const std::uint32_t out = partitioned ? s / m : s;
+        noc::Crossbar &xbar = *noc2Req_[g];
+        while (xbar.hasEjectable(out) && slices_[s]->canAcceptRequest()) {
+            auto pkt = xbar.eject(out);
+            slices_[s]->pushRequest(std::move(pkt->req));
+        }
+    }
+    for (NodeId n = 0; n < design_.numNodes; ++n) {
+        const std::uint32_t g = partitioned ? n % m : 0;
+        const std::uint32_t out = partitioned ? org_->clusterOfNode(n) : n;
+        noc::Crossbar &xbar = *noc2Reply_[g];
+        while (xbar.hasEjectable(out) && nodes_[n]->canAcceptFromMem()) {
+            auto pkt = xbar.eject(out);
+            ++dbgNodeFromMem;
+            nodes_[n]->pushFromMem(std::move(pkt->req));
+        }
+    }
+
+    // NoC#1 ejections.
+    for (NodeId n = 0; n < design_.numNodes; ++n) {
+        const std::uint32_t z = org_->clusterOfNode(n);
+        const std::uint32_t local = n % m;
+        noc::Crossbar &xbar = *noc1Req_[z];
+        while (xbar.hasEjectable(local) &&
+               nodes_[n]->canAcceptFromCore()) {
+            auto pkt = xbar.eject(local);
+            nodes_[n]->pushFromCore(std::move(pkt->req));
+        }
+    }
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        const std::uint32_t z = org_->clusterOfCore(c);
+        const std::uint32_t local = c % n_per;
+        noc::Crossbar &xbar = *noc1Reply_[z];
+        while (xbar.hasEjectable(local)) {
+            auto pkt = xbar.eject(local);
+            cores_[c]->deliverReply(std::move(pkt->req), cycle_);
+        }
+    }
+
+    // DC-L1 nodes tick, then inject into both NoCs.
+    for (NodeId n = 0; n < design_.numNodes; ++n) {
+        DcL1Node &node = *nodes_[n];
+        node.tick(cycle_);
+
+        const std::uint32_t z = org_->clusterOfNode(n);
+        const std::uint32_t local = n % m;
+
+        // Q3 -> NoC#2 request side.
+        {
+            const std::uint32_t g = partitioned ? local : 0;
+            const std::uint32_t in = partitioned ? z : n;
+            noc::Crossbar &xbar = *noc2Req_[g];
+            while (node.hasToMem() && xbar.canInject(in)) {
+                auto req = node.takeToMem();
+                ++dbgNodeToMem;
+                (*req)->slice = addrMap_.slice((*req)->addr);
+                noc::Packet pkt;
+                pkt.src = in;
+                pkt.dst = partitioned ? (*req)->slice / m : (*req)->slice;
+                pkt.flits = noc::flitsFor(**req, sys_.flitBytes);
+                pkt.req = std::move(*req);
+                xbar.inject(std::move(pkt));
+            }
+        }
+
+        // Q2 -> NoC#1 reply side.
+        {
+            noc::Crossbar &xbar = *noc1Reply_[z];
+            while (node.hasToCore() && xbar.canInject(local)) {
+                auto reply = node.takeToCore();
+                noc::Packet pkt;
+                pkt.src = local;
+                pkt.dst = (*reply)->core % n_per;
+                pkt.flits = noc::flitsFor(**reply, sys_.flitBytes);
+                pkt.req = std::move(*reply);
+                xbar.inject(std::move(pkt));
+            }
+        }
+    }
+
+    // Cores inject into NoC#1 request side, then tick.
+    for (CoreId c = 0; c < sys_.numCores; ++c) {
+        const std::uint32_t z = org_->clusterOfCore(c);
+        const std::uint32_t local = c % n_per;
+        noc::Crossbar &xbar = *noc1Req_[z];
+        while (cores_[c]->hasOutbound() && xbar.canInject(local)) {
+            auto req = cores_[c]->takeOutbound();
+            const NodeId home = org_->homeNode(c, (*req)->addr);
+            (*req)->homeNode = home;
+            noc::Packet pkt;
+            pkt.src = local;
+            pkt.dst = home % m;
+            pkt.flits = noc::flitsFor(**req, sys_.flitBytes);
+            pkt.req = std::move(*req);
+            xbar.inject(std::move(pkt));
+        }
+        cores_[c]->tick(cycle_);
+    }
+}
+
+void
+GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles)
+{
+    mem::gFetchLeakCheck = true;
+    for (Cycle i = 0; i < warmup_cycles; ++i)
+        tickOnce();
+    resetStats();
+    for (Cycle i = 0; i < measure_cycles; ++i)
+        tickOnce();
+    mem::gFetchLeakCheck = false;
+}
+
+void
+GpuSystem::resetStats()
+{
+    statStart_ = cycle_;
+    for (auto &core : cores_)
+        core->statGroup().reset();
+    for (auto &node : nodes_)
+        node->statGroup().reset();
+    for (auto &slice : slices_)
+        slice->bank().statGroup().reset();
+    for (auto &ch : channels_)
+        ch->statGroup().reset();
+    tracker_->resetStats();
+
+    auto reset_xbar = [](std::unique_ptr<noc::Crossbar> &x) {
+        if (x)
+            x->resetStats();
+    };
+    reset_xbar(mainReq_);
+    reset_xbar(mainReply_);
+    for (auto &x : noc1Req_)
+        x->resetStats();
+    for (auto &x : noc1Reply_)
+        x->resetStats();
+    for (auto &x : noc2Req_)
+        x->resetStats();
+    for (auto &x : noc2Reply_)
+        x->resetStats();
+    if (cdxReq_)
+        cdxReq_->resetStats();
+    if (cdxReply_)
+        cdxReply_->resetStats();
+}
+
+bool
+GpuSystem::busy()
+{
+    for (auto &core : cores_)
+        if (core->busy())
+            return true;
+    for (auto &node : nodes_)
+        if (node->busy())
+            return true;
+    for (auto &slice : slices_)
+        if (slice->busy())
+            return true;
+    for (auto &ch : channels_)
+        if (ch->busy())
+            return true;
+    auto xbar_busy = [](std::unique_ptr<noc::Crossbar> &x) {
+        return x && x->busy();
+    };
+    if (xbar_busy(mainReq_) || xbar_busy(mainReply_))
+        return true;
+    for (auto &x : noc1Req_)
+        if (x->busy())
+            return true;
+    for (auto &x : noc1Reply_)
+        if (x->busy())
+            return true;
+    for (auto &x : noc2Req_)
+        if (x->busy())
+            return true;
+    for (auto &x : noc2Reply_)
+        if (x->busy())
+            return true;
+    if (cdxReq_ && cdxReq_->busy())
+        return true;
+    if (cdxReply_ && cdxReply_->busy())
+        return true;
+    return false;
+}
+
+bool
+GpuSystem::drain(Cycle max_cycles)
+{
+    draining_ = true;
+    for (auto &core : cores_)
+        core->setIssueEnabled(false);
+    Cycle waited = 0;
+    while (busy() && waited < max_cycles) {
+        tickOnce();
+        ++waited;
+    }
+    for (auto &core : cores_)
+        core->setIssueEnabled(true);
+    draining_ = false;
+    return !busy();
+}
+
+void
+GpuSystem::dumpStats(std::ostream &os)
+{
+    stats::StatGroup root("gpu");
+    for (auto &core : cores_)
+        root.addChild(&core->statGroup());
+    for (auto &node : nodes_)
+        root.addChild(&node->statGroup());
+    for (auto &slice : slices_)
+        root.addChild(&slice->bank().statGroup());
+    for (auto &ch : channels_)
+        root.addChild(&ch->statGroup());
+    root.addChild(&tracker_->statGroup());
+    auto add_xbar = [&](std::unique_ptr<noc::Crossbar> &x) {
+        if (x)
+            root.addChild(&x->statGroup());
+    };
+    add_xbar(mainReq_);
+    add_xbar(mainReply_);
+    for (auto &x : noc1Req_)
+        root.addChild(&x->statGroup());
+    for (auto &x : noc1Reply_)
+        root.addChild(&x->statGroup());
+    for (auto &x : noc2Req_)
+        root.addChild(&x->statGroup());
+    for (auto &x : noc2Reply_)
+        root.addChild(&x->statGroup());
+    root.dump(os);
+}
+
+RunMetrics
+GpuSystem::metrics()
+{
+    RunMetrics rm;
+    rm.cycles = cycle_ - statStart_;
+    if (rm.cycles == 0)
+        return rm;
+
+    for (const auto &core : cores_)
+        rm.instructions += core->instructions();
+    rm.ipc = double(rm.instructions) / double(rm.cycles);
+
+    // (DC-)L1 cache statistics.
+    auto account_bank = [&](const mem::CacheBank &bank) {
+        rm.l1Accesses += bank.accesses();
+        rm.l1Misses += bank.misses();
+        const double util =
+            double(bank.accesses()) / double(rm.cycles);
+        rm.maxL1PortUtil = std::max(rm.maxL1PortUtil, util);
+    };
+    if (design_.topology == Topology::DcL1) {
+        for (const auto &node : nodes_)
+            account_bank(node->cache());
+    } else {
+        for (const auto &core : cores_)
+            if (core->l1())
+                account_bank(*core->l1());
+    }
+    rm.l1MissRate = rm.l1Accesses
+                        ? double(rm.l1Misses) / double(rm.l1Accesses)
+                        : 0.0;
+
+    rm.replicationRatio = tracker_->replicationRatio();
+    rm.avgReplicas = tracker_->avgReplicas();
+
+    // Latency.
+    std::uint64_t lat_sum = 0;
+    std::uint64_t lat_cnt = 0;
+    for (const auto &core : cores_) {
+        lat_sum += core->readLatencySum();
+        lat_cnt += core->readsCompleted();
+    }
+    rm.avgReadLatency = lat_cnt ? double(lat_sum) / double(lat_cnt) : 0.0;
+
+    // NoC link utilizations and flit activity.
+    auto max_out_util = [](const noc::Crossbar &x) {
+        double best = 0.0;
+        for (std::uint32_t o = 0; o < x.params().numOutputs; ++o)
+            best = std::max(best, x.outputUtilization(o));
+        return best;
+    };
+    if (design_.topology == Topology::DcL1) {
+        for (const auto &x : noc1Reply_) {
+            rm.maxCoreReplyLinkUtil =
+                std::max(rm.maxCoreReplyLinkUtil, max_out_util(*x));
+        }
+        for (const auto &x : noc2Reply_) {
+            rm.maxMemReplyLinkUtil =
+                std::max(rm.maxMemReplyLinkUtil, max_out_util(*x));
+        }
+        for (const auto &x : noc1Req_)
+            rm.noc1Flits += x->totalFlits();
+        for (const auto &x : noc1Reply_)
+            rm.noc1Flits += x->totalFlits();
+        for (const auto &x : noc2Req_)
+            rm.noc2Flits += x->totalFlits();
+        for (const auto &x : noc2Reply_)
+            rm.noc2Flits += x->totalFlits();
+    } else if (design_.topology == Topology::PrivateBaseline) {
+        rm.maxCoreReplyLinkUtil = max_out_util(*mainReply_);
+        rm.maxMemReplyLinkUtil = rm.maxCoreReplyLinkUtil;
+        rm.noc2Flits =
+            mainReq_->totalFlits() + mainReply_->totalFlits();
+    } else {
+        rm.maxCoreReplyLinkUtil = 0.0;
+        for (auto &x : cdxReply_->localXbars()) {
+            rm.maxCoreReplyLinkUtil =
+                std::max(rm.maxCoreReplyLinkUtil, max_out_util(*x));
+        }
+        rm.maxMemReplyLinkUtil =
+            max_out_util(cdxReply_->globalXbar());
+        for (auto &x : cdxReq_->localXbars())
+            rm.noc1Flits += x->totalFlits();
+        for (auto &x : cdxReply_->localXbars())
+            rm.noc1Flits += x->totalFlits();
+        rm.noc2Flits = cdxReq_->globalXbar().totalFlits() +
+                       cdxReply_->globalXbar().totalFlits();
+    }
+
+    for (const auto &slice : slices_) {
+        rm.l2Accesses += slice->bank().accesses();
+        rm.l2Misses += slice->bank().misses();
+    }
+    for (const auto &ch : channels_) {
+        rm.dramReads += ch->reads();
+        rm.dramWrites += ch->writes();
+    }
+    return rm;
+}
+
+} // namespace dcl1::core

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * GpuSystem: the fully wired simulated GPU for one (platform, design,
+ * workload) triple, plus the cycle loop and metric extraction.
+ *
+ * Topologies:
+ *  - PrivateBaseline: cores-with-L1 <-> 80x32 request/reply crossbars
+ *    <-> L2 slices <-> DRAM channels.
+ *  - CdXbar: same cores, hierarchical two-stage crossbars.
+ *  - DcL1: lite cores <-> NoC#1 (Z crossbars of N x M) <-> DC-L1 nodes
+ *    <-> NoC#2 (M crossbars of Z x L/M, or one full Y x L crossbar)
+ *    <-> L2 slices <-> DRAM.
+ */
+
+#ifndef DCL1_CORE_GPU_SYSTEM_HH
+#define DCL1_CORE_GPU_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dcl1_node.hh"
+#include "core/design.hh"
+#include "core/organization.hh"
+#include "core/system_config.hh"
+#include "gpucore/lite_core.hh"
+#include "mem/address_map.hh"
+#include "mem/dram.hh"
+#include "mem/l2_slice.hh"
+#include "mem/replication_tracker.hh"
+#include "noc/cdxbar.hh"
+#include "noc/crossbar.hh"
+#include "workload/synthetic.hh"
+
+namespace dcl1::core
+{
+
+/** Results of a measured simulation interval. */
+struct RunMetrics
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    double l1MissRate = 0.0;
+
+    double replicationRatio = 0.0;
+    double avgReplicas = 0.0;
+
+    /** Max per-L1/DC-L1 data-port utilization (accesses / cycle). */
+    double maxL1PortUtil = 0.0;
+    /** Max utilization of reply links into the cores (NoC#1/baseline). */
+    double maxCoreReplyLinkUtil = 0.0;
+    /** Max utilization of reply links from L2 (NoC#2/baseline). */
+    double maxMemReplyLinkUtil = 0.0;
+
+    double avgReadLatency = 0.0; ///< core-observed RTT in core cycles
+
+    std::uint64_t noc1Flits = 0; ///< 0 for baseline topologies
+    std::uint64_t noc2Flits = 0;
+
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+};
+
+/** See file comment. */
+class GpuSystem
+{
+  public:
+    /**
+     * @param sys platform configuration
+     * @param design cache-hierarchy design point
+     * @param app workload description (drives the built-in synthetic
+     *        source unless @p source is given)
+     * @param source optional external instruction source (e.g. a
+     *        workload::TraceFileSource); app is then only metadata
+     */
+    GpuSystem(const SystemConfig &sys, const DesignConfig &design,
+              const workload::WorkloadParams &app,
+              std::unique_ptr<workload::TraceSource> source = nullptr);
+    ~GpuSystem();
+
+    GpuSystem(const GpuSystem &) = delete;
+    GpuSystem &operator=(const GpuSystem &) = delete;
+
+    /**
+     * Simulate warmup + measure cycles; statistics cover only the
+     * measured interval.
+     */
+    void run(Cycle measure_cycles, Cycle warmup_cycles = 0);
+
+    /** Advance a single core cycle (exposed for tests). */
+    void tickOnce();
+
+    /** Reset all statistics (start of measured interval). */
+    void resetStats();
+
+    /** Any in-flight work anywhere in the machine? */
+    bool busy();
+
+    /**
+     * Stop issuing new instructions and tick until every queue, MSHR,
+     * NoC and DRAM channel drains (request-conservation check).
+     * @return true if the machine drained within @p max_cycles.
+     */
+    bool drain(Cycle max_cycles = 100000);
+
+    /** Dump every component's statistics as "path value" lines. */
+    void dumpStats(std::ostream &os);
+
+    /** Extract metrics for the interval since the last resetStats(). */
+    RunMetrics metrics();
+
+    Cycle cycle() const { return cycle_; }
+    const SystemConfig &sysConfig() const { return sys_; }
+    const DesignConfig &designConfig() const { return design_; }
+    const Organization *organization() const { return org_.get(); }
+    mem::ReplicationTracker &tracker() { return *tracker_; }
+    std::vector<std::unique_ptr<gpucore::LiteCore>> &cores()
+    {
+        return cores_;
+    }
+    std::vector<std::unique_ptr<DcL1Node>> &nodes() { return nodes_; }
+    std::vector<std::unique_ptr<mem::L2Slice>> &slices()
+    {
+        return slices_;
+    }
+    std::vector<std::unique_ptr<mem::DramChannel>> &channels()
+    {
+        return channels_;
+    }
+    std::vector<std::unique_ptr<noc::Crossbar>> &noc1ReqXbars()
+    {
+        return noc1Req_;
+    }
+    std::vector<std::unique_ptr<noc::Crossbar>> &noc1ReplyXbars()
+    {
+        return noc1Reply_;
+    }
+    std::vector<std::unique_ptr<noc::Crossbar>> &noc2ReqXbars()
+    {
+        return noc2Req_;
+    }
+    std::vector<std::unique_ptr<noc::Crossbar>> &noc2ReplyXbars()
+    {
+        return noc2Reply_;
+    }
+
+  private:
+    void buildCommon(const workload::WorkloadParams &app,
+                     std::unique_ptr<workload::TraceSource> source);
+    void buildBaseline();
+    void buildCdx();
+    void buildDcl1();
+
+    void tickMemory();
+    void tickBaseline();
+    void tickCdx();
+    void tickDcl1();
+
+    mem::CacheBankParams l1BankParams() const;
+    mem::CacheBankParams l2BankParams() const;
+
+    SystemConfig sys_;
+    DesignConfig design_;
+
+    mem::AddressMap addrMap_;
+    std::unique_ptr<workload::TraceSource> source_;
+    std::unique_ptr<mem::ReplicationTracker> tracker_;
+    std::unique_ptr<Organization> org_;
+
+    std::vector<std::unique_ptr<gpucore::LiteCore>> cores_;
+    std::vector<std::unique_ptr<DcL1Node>> nodes_;
+    std::vector<std::unique_ptr<mem::L2Slice>> slices_;
+    std::vector<std::unique_ptr<mem::DramChannel>> channels_;
+
+    /// @name Baseline / monolithic NoC
+    /// @{
+    std::unique_ptr<noc::Crossbar> mainReq_;
+    std::unique_ptr<noc::Crossbar> mainReply_;
+    /// @}
+
+    /// @name CdXbar NoC
+    /// @{
+    std::unique_ptr<noc::CdXbarNet> cdxReq_;
+    std::unique_ptr<noc::CdXbarNet> cdxReply_;
+    /// @}
+
+    /// @name DC-L1 NoCs
+    /// @{
+    std::vector<std::unique_ptr<noc::Crossbar>> noc1Req_;   ///< per Z
+    std::vector<std::unique_ptr<noc::Crossbar>> noc1Reply_; ///< per Z
+    std::vector<std::unique_ptr<noc::Crossbar>> noc2Req_;   ///< per M|1
+    std::vector<std::unique_ptr<noc::Crossbar>> noc2Reply_;
+    /// @}
+
+    Cycle cycle_ = 0;
+    Cycle statStart_ = 0;
+    bool draining_ = false;
+
+  public:
+    /// @name Debug hop counters (tickDcl1)
+    /// @{
+    std::uint64_t dbgNodeToMem = 0;   ///< Q3 -> NoC#2 injections
+    std::uint64_t dbgMemEject = 0;    ///< NoC#2 -> L2 ejections
+    std::uint64_t dbgL2Replies = 0;   ///< L2 -> NoC#2 reply injections
+    std::uint64_t dbgNodeFromMem = 0; ///< NoC#2 -> Q4 ejections
+    /// @}
+};
+
+} // namespace dcl1::core
+
+#endif // DCL1_CORE_GPU_SYSTEM_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Platform configuration (the paper's Table II).
+ *
+ * 80 cores at 1400 MHz with private 16 KB 4-way write-evict L1s
+ * (28-cycle latency, 128 B lines), 32 address-sliced L2 banks behind a
+ * 700 MHz 80x32 crossbar with 32 B flits, and 16 GDDR5 channels.
+ */
+
+#ifndef DCL1_CORE_SYSTEM_CONFIG_HH
+#define DCL1_CORE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "gpucore/lite_core.hh"
+#include "mem/cache_bank.hh"
+#include "mem/dram.hh"
+
+namespace dcl1::core
+{
+
+/** See file comment. */
+struct SystemConfig
+{
+    std::uint32_t numCores = 80;
+    std::uint32_t numL2Slices = 32;
+    std::uint32_t numChannels = 16;
+    std::uint32_t lineBytes = defaultLineBytes;
+    std::uint32_t flitBytes = defaultFlitBytes;
+    std::uint32_t chunkBytes = defaultChunkBytes;
+
+    /// @name Private L1 (per core)
+    /// @{
+    std::uint32_t l1SizeBytes = 16 * 1024;
+    std::uint32_t l1Assoc = 4;
+    std::uint32_t l1Latency = 28;
+    std::uint32_t l1Mshrs = 32;
+    std::uint32_t l1TargetsPerMshr = 8;
+    /// @}
+
+    /// @name L2 slice
+    /// @{
+    std::uint32_t l2SliceSizeBytes = 128 * 1024;
+    std::uint32_t l2Assoc = 8;
+    std::uint32_t l2Latency = 20;
+    std::uint32_t l2Mshrs = 128;
+    std::uint32_t l2TargetsPerMshr = 16;
+    /// @}
+
+    /** Cache replacement policies (ablation knob). */
+    mem::ReplPolicy l1Repl = mem::ReplPolicy::Lru;
+    mem::ReplPolicy l2Repl = mem::ReplPolicy::Lru;
+
+    /** L1/DC-L1 write policy (the paper fixes write-evict; the
+     *  write-back option is a *timing* ablation — no coherence is
+     *  modelled, which is why GPUs use write-evict here). */
+    mem::WritePolicy l1WritePolicy = mem::WritePolicy::WriteEvict;
+
+    /** Warp scheduler (GPGPU-Sim lrr vs gto). */
+    gpucore::WarpSched warpScheduler =
+        gpucore::WarpSched::LooseRoundRobin;
+
+    /** Baseline NoC clock as a fraction of the core clock (700 MHz). */
+    double nocClockRatio = 0.5;
+
+    /** DC-L1 node queue depth (Q1..Q4; paper: four 128 B entries). */
+    std::uint32_t nodeQueueCap = 4;
+
+    /** GDDR5-like channel timing (core-cycle units). */
+    mem::DramParams dram;
+
+    /** Experiment seed (workload streams are deterministic in it). */
+    std::uint64_t seed = 1;
+
+    /** Scale the machine (e.g. the 120-core sensitivity study). */
+    static SystemConfig
+    scaled(std::uint32_t cores, std::uint32_t slices,
+           std::uint32_t channels)
+    {
+        SystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.numL2Slices = slices;
+        cfg.numChannels = channels;
+        return cfg;
+    }
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+};
+
+} // namespace dcl1::core
+
+#endif // DCL1_CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Lite GPU core (compute unit) model.
+ *
+ * The core holds up to 48 resident wavefronts. Each cycle it issues one
+ * instruction from a ready wavefront (round-robin): arithmetic
+ * instructions retire immediately, memory instructions are coalesced
+ * into line requests that drain through the LSU toward either the
+ * core's private L1 (baseline) or the outbound queue toward NoC#1
+ * (DC-L1 designs, the paper's "Lite Core" with no L1/MSHR). A
+ * wavefront with outstanding read-class requests is descheduled until
+ * all its replies arrive — this is the latency-hiding mechanism whose
+ * effectiveness scales with occupancy and arithmetic intensity.
+ */
+
+#ifndef DCL1_GPUCORE_LITE_CORE_HH
+#define DCL1_GPUCORE_LITE_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache_bank.hh"
+#include "mem/queues.hh"
+#include "mem/request.hh"
+#include "stats/stats.hh"
+#include "workload/workload.hh"
+
+namespace dcl1::gpucore
+{
+
+/** Warp scheduling policy. */
+enum class WarpSched : std::uint8_t
+{
+    LooseRoundRobin, ///< rotate over ready warps (GPGPU-Sim "lrr")
+    GreedyThenOldest, ///< stick to one warp until it stalls ("gto")
+};
+
+/** Static configuration of a LiteCore. */
+struct LiteCoreParams
+{
+    CoreId id = 0;
+    WarpSched sched = WarpSched::LooseRoundRobin;
+    std::uint32_t issueWidth = 1;
+    std::uint32_t schedScanLimit = 8;  ///< warps examined per cycle
+    std::uint32_t lsuQueueCap = 16;
+    std::uint32_t outQueueCap = 8;
+    std::uint32_t maxOutstandingWrites = 64;
+    std::uint32_t lineBytes = defaultLineBytes;
+
+    /** Baseline private-L1 mode; empty for DC-L1 "lite" mode. */
+    bool hasL1 = false;
+    mem::CacheBankParams l1;
+};
+
+/** See file comment. */
+class LiteCore
+{
+  public:
+    /**
+     * @param params core configuration
+     * @param source instruction stream generator (not owned)
+     * @param listener replication directory for the private L1 (may be
+     *        null; only used when hasL1)
+     */
+    LiteCore(const LiteCoreParams &params, workload::TraceSource *source,
+             mem::CacheListener *listener = nullptr);
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** Gate instruction issue (used by GpuSystem::drain). */
+    void setIssueEnabled(bool enabled) { issueEnabled_ = enabled; }
+
+    /// @name NoC-facing side
+    /// @{
+    /** Pop a request bound for the interconnect. */
+    std::optional<mem::MemRequestPtr> takeOutbound();
+    bool hasOutbound() const { return !outbound_.empty(); }
+    /** Deliver a reply from the interconnect. */
+    void deliverReply(mem::MemRequestPtr reply, Cycle now);
+    /// @}
+
+    /** Outstanding work (for drain checks)? */
+    bool busy() const;
+
+    CoreId id() const { return params_.id; }
+    mem::CacheBank *l1() { return l1_.get(); }
+    const mem::CacheBank *l1() const { return l1_.get(); }
+
+    /// @name Statistics
+    /// @{
+    stats::StatGroup &statGroup() { return statGroup_; }
+    std::uint64_t instructions() const { return instructions_.value(); }
+    std::uint64_t memInstructions() const { return memInstrs_.value(); }
+    std::uint64_t l1Accesses() const
+    {
+        return l1_ ? l1_->accesses() : 0;
+    }
+    /** Mean core->reply round-trip latency of read-class requests. */
+    double avgReadLatency() const;
+    std::size_t lsuSize() const { return lsu_.size(); }
+    std::size_t outboundSize() const { return outbound_.size(); }
+    std::size_t readyWarpCount() const { return readyWarps_.size(); }
+    std::uint64_t outstandingReads() const { return outstandingReads_; }
+    std::uint64_t readLatencySum() const { return readLatencySum_.value(); }
+    std::uint64_t readsCompleted() const { return readsCompleted_.value(); }
+    /** Mean cycles from coalescer to first (DC-)L1 service. */
+    double
+    avgPreServiceLatency() const
+    {
+        const auto n = readsCompleted_.value();
+        return n ? double(preServiceSum_.value()) / double(n) : 0.0;
+    }
+    /// @}
+
+  private:
+    void issue(Cycle now);
+    void drainLsu(Cycle now);
+    void pumpL1(Cycle now);
+    void wakeWarp(WarpId warp);
+
+    struct WarpCtx
+    {
+        std::uint32_t pendingReads = 0;
+        bool hasStashedInstr = false;
+        workload::WarpInstr stashed;
+    };
+
+    LiteCoreParams params_;
+    workload::TraceSource *source_;
+
+    std::uint32_t numWarps_;
+    std::vector<WarpCtx> warps_;
+    std::deque<WarpId> readyWarps_;
+
+    mem::BoundedQueue<mem::MemRequestPtr> lsu_;
+    mem::BoundedQueue<mem::MemRequestPtr> outbound_;
+    std::unique_ptr<mem::CacheBank> l1_;
+
+    std::uint32_t outstandingWrites_ = 0;
+    std::uint64_t outstandingReads_ = 0;
+    bool issueEnabled_ = true;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar instructions_;
+    stats::Scalar memInstrs_;
+    stats::Scalar arithInstrs_;
+    stats::Scalar lsuStalls_;
+    stats::Scalar noWarpCycles_;
+    stats::Scalar readLatencySum_;
+    stats::Scalar readsCompleted_;
+    stats::Scalar preServiceSum_;
+};
+
+} // namespace dcl1::gpucore
+
+#endif // DCL1_GPUCORE_LITE_CORE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Global address interleaving: line -> L2 slice -> memory channel.
+ *
+ * As in the paper's Table II platform, the linear address space is
+ * interleaved across the L2 slices in 256 B chunks; each memory channel
+ * backs a fixed group of slices. Shared DC-L1 home selection (see
+ * core/organization.hh) uses the same chunk index so that each DC-L1
+ * communicates with exactly numSlices/M L2 slices.
+ */
+
+#ifndef DCL1_MEM_ADDRESS_MAP_HH
+#define DCL1_MEM_ADDRESS_MAP_HH
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace dcl1::mem
+{
+
+/** See file comment. */
+class AddressMap
+{
+  public:
+    /**
+     * @param num_slices number of L2 slices
+     * @param num_channels number of memory channels (must divide
+     *        num_slices)
+     * @param chunk_bytes interleave granularity
+     */
+    AddressMap(std::uint32_t num_slices, std::uint32_t num_channels,
+               std::uint32_t chunk_bytes = defaultChunkBytes)
+        : numSlices_(num_slices), numChannels_(num_channels),
+          chunkBytes_(chunk_bytes)
+    {
+        if (num_slices == 0 || num_channels == 0)
+            fatal("AddressMap: slices/channels must be nonzero");
+        if (num_slices % num_channels != 0)
+            fatal("AddressMap: %u slices not divisible by %u channels",
+                  num_slices, num_channels);
+    }
+
+    /** 256 B-chunk index of @p addr. */
+    std::uint64_t chunk(Addr addr) const { return addr / chunkBytes_; }
+
+    /** L2 slice serving @p addr. */
+    SliceId
+    slice(Addr addr) const
+    {
+        return static_cast<SliceId>(chunk(addr) % numSlices_);
+    }
+
+    /** Memory channel backing @p slice. */
+    std::uint32_t
+    channelOfSlice(SliceId slice) const
+    {
+        return slice % numChannels_;
+    }
+
+    /** Memory channel serving @p addr. */
+    std::uint32_t channel(Addr addr) const
+    {
+        return channelOfSlice(slice(addr));
+    }
+
+    std::uint32_t numSlices() const { return numSlices_; }
+    std::uint32_t numChannels() const { return numChannels_; }
+    std::uint32_t chunkBytes() const { return chunkBytes_; }
+
+  private:
+    std::uint32_t numSlices_;
+    std::uint32_t numChannels_;
+    std::uint32_t chunkBytes_;
+};
+
+} // namespace dcl1::mem
+
+#endif // DCL1_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,270 @@
+#include "mem/cache_bank.hh"
+
+#include "common/log.hh"
+
+namespace dcl1::mem
+{
+
+CacheBank::CacheBank(const CacheBankParams &params, std::uint32_t cache_id,
+                     CacheListener *listener)
+    : params_(params), cacheId_(cache_id), listener_(listener),
+      tags_(params.numSets(), params.assoc, params.repl),
+      mshr_(params.mshrs, params.targetsPerMshr),
+      downstream_(params.downstreamCap), statGroup_(params.name)
+{
+    if (params.numSets() == 0)
+        fatal("cache %s: size %u too small for %u-way %uB lines",
+              params.name.c_str(), params.sizeBytes, params.assoc,
+              params.lineBytes);
+    statGroup_.addScalar("accesses", &accesses_);
+    statGroup_.addScalar("hits", &hits_);
+    statGroup_.addScalar("misses", &misses_);
+    statGroup_.addScalar("read_accesses", &readAccesses_);
+    statGroup_.addScalar("read_misses", &readMisses_);
+    statGroup_.addScalar("write_accesses", &writeAccesses_);
+    statGroup_.addScalar("write_hit_evicts", &writeHitEvicts_);
+    statGroup_.addScalar("mshr_merges", &mshrMerges_);
+    statGroup_.addScalar("blocked", &blocked_);
+    statGroup_.addScalar("writebacks", &writebacks_);
+}
+
+bool
+CacheBank::canAccept(Cycle now) const
+{
+    if (lastPortCycle_ == now)
+        return false;
+    // A deep completion backlog means the consumer is not draining
+    // replies; model the stalled pipeline by refusing new work.
+    if (completed_.size() > std::size_t(4) * (params_.latency + 1))
+        return false;
+    return true;
+}
+
+void
+CacheBank::scheduleCompletion(MemRequestPtr req, Cycle ready)
+{
+    // Maintain nondecreasing order by insertion from the back; ready
+    // times are almost always monotone, so this is nearly O(1).
+    auto it = completed_.end();
+    while (it != completed_.begin() && std::prev(it)->first > ready)
+        --it;
+    completed_.emplace(it, ready, std::move(req));
+}
+
+void
+CacheBank::installLine(LineAddr line, bool dirty)
+{
+    if (tags_.contains(line))
+        return; // e.g. write-validate raced with an in-flight fetch
+    Victim victim = tags_.insert(line, dirty);
+    if (listener_)
+        listener_->onInstall(cacheId_, line);
+    if (victim.valid) {
+        if (listener_)
+            listener_->onEvict(cacheId_, victim.line);
+        if (victim.dirty) {
+            auto wb = std::make_unique<MemRequest>();
+            wb->op = MemOp::Write;
+            wb->addr = victim.line * params_.lineBytes;
+            wb->bytes = params_.lineBytes;
+            wb->payloadBytes = params_.lineBytes;
+            wb->core = invalidId;
+            wb->fetchDepth = 0;
+            pendingWritebacks_.push_back(std::move(wb));
+            ++writebacks_;
+        }
+    }
+}
+
+AccessOutcome
+CacheBank::access(MemRequestPtr &req, Cycle now)
+{
+    if (!canAccept(now))
+        panic("cache %s: access without canAccept", params_.name.c_str());
+
+    const LineAddr line = req->line(params_.lineBytes);
+    const bool write = req->isWrite();
+
+    // --- structural pre-checks (no state change, no stats) ---
+    if (write && params_.policy == WritePolicy::WriteEvict) {
+        if (downstream_.full()) {
+            ++blocked_;
+            ++dbgBlockedWriteDs;
+            return AccessOutcome::Blocked;
+        }
+    } else if (!write && !params_.perfect && !tags_.contains(line)) {
+        if (mshr_.hasEntry(line)) {
+            // merge path checked below (may still fail on targets)
+        } else if (mshr_.full() || downstream_.full()) {
+            ++blocked_;
+            if (mshr_.full())
+                ++dbgBlockedMshrFull;
+            else
+                ++dbgBlockedReadDs;
+            return AccessOutcome::Blocked;
+        }
+    }
+
+    // --- the access now occupies the port ---
+    lastPortCycle_ = now;
+    ++accesses_;
+    req->l1ServiceAt = now;
+
+    if (write) {
+        ++writeAccesses_;
+        if (params_.policy == WritePolicy::WriteEvict) {
+            // Write-evict + no-write-allocate: a hit evicts the line;
+            // the write is always forwarded downstream and completes
+            // when the ACK is passed back through fill().
+            if (tags_.invalidate(line)) {
+                ++writeHitEvicts_;
+                ++hits_;
+                if (listener_)
+                    listener_->onEvict(cacheId_, line);
+            } else {
+                ++misses_;
+            }
+            req->payloadBytes = req->bytes;
+            downstream_.push(std::move(req));
+            return AccessOutcome::Miss;
+        }
+        // WriteBack: complete locally; allocate on miss (write-validate).
+        if (tags_.probe(line)) {
+            ++hits_;
+            tags_.markDirty(line);
+        } else {
+            ++misses_;
+            installLine(line, /*dirty=*/true);
+        }
+        req->isReply = true;
+        req->payloadBytes = 0;
+        scheduleCompletion(std::move(req), now + params_.latency);
+        return AccessOutcome::Hit;
+    }
+
+    // Read-like access (Read / Atomic / Bypass routed to this bank).
+    ++readAccesses_;
+    if (params_.perfect || tags_.probe(line)) {
+        ++hits_;
+        if (req->isAtomic())
+            tags_.markDirty(line);
+        req->isReply = true;
+        // A hit on an upstream cache's line fetch returns the whole
+        // line; demand hits return the requested bytes.
+        req->payloadBytes =
+            req->isFetch() ? params_.lineBytes : req->bytes;
+        scheduleCompletion(std::move(req), now + params_.latency);
+        return AccessOutcome::Hit;
+    }
+
+    ++misses_;
+    ++readMisses_;
+    if (listener_)
+        listener_->onMiss(cacheId_, line);
+
+    MshrOutcome mo = mshr_.registerMiss(line, req);
+    switch (mo) {
+      case MshrOutcome::NewEntry:
+        ++dbgFetchesSent;
+        ++req->fetchDepth;
+        req->payloadBytes = 0;
+        downstream_.push(std::move(req));
+        ++inFlightFetches_;
+        return AccessOutcome::Miss;
+      case MshrOutcome::Merged:
+        ++mshrMerges_;
+        return AccessOutcome::Miss;
+      case MshrOutcome::NoTargetFree:
+        // Roll back the stats charged above; the caller retries.
+        ++blocked_;
+        ++dbgBlockedTargets;
+        accesses_.set(accesses_.value() - 1);
+        readAccesses_.set(readAccesses_.value() - 1);
+        misses_.set(misses_.value() - 1);
+        readMisses_.set(readMisses_.value() - 1);
+        return AccessOutcome::Blocked;
+      case MshrOutcome::NoEntryFree:
+        panic("cache %s: MSHR full after pre-check", params_.name.c_str());
+    }
+    panic("cache %s: unreachable", params_.name.c_str());
+}
+
+std::optional<MemRequestPtr>
+CacheBank::takeCompleted(Cycle now)
+{
+    if (completed_.empty() || completed_.front().first > now)
+        return std::nullopt;
+    MemRequestPtr req = std::move(completed_.front().second);
+    completed_.pop_front();
+    return req;
+}
+
+std::optional<MemRequestPtr>
+CacheBank::takeDownstream()
+{
+    while (!pendingWritebacks_.empty() && downstream_.canPush()) {
+        downstream_.push(std::move(pendingWritebacks_.front()));
+        pendingWritebacks_.pop_front();
+    }
+    return downstream_.tryPop();
+}
+
+bool
+CacheBank::hasDownstream() const
+{
+    return !downstream_.empty() || !pendingWritebacks_.empty();
+}
+
+void
+CacheBank::fill(MemRequestPtr reply, Cycle now)
+{
+    if (reply->isWrite()) {
+        // Write-through ACK (WriteEvict): complete the original write.
+        scheduleCompletion(std::move(reply), now);
+        return;
+    }
+
+    const LineAddr line = reply->line(params_.lineBytes);
+    if (!reply->isFetch())
+        panic("cache %s: fill with non-fetch read reply",
+              params_.name.c_str());
+
+    // Atomics never allocate; demand reads always do, and bypass
+    // (instruction/texture/constant) traffic allocates in the L2 only.
+    if (reply->op == MemOp::Read ||
+        (reply->op == MemOp::Bypass &&
+         params_.policy == WritePolicy::WriteBack)) {
+        installLine(line, /*dirty=*/false);
+    }
+
+    ++dbgFillsReceived;
+    std::vector<MemRequestPtr> targets = mshr_.completeFetch(line);
+    if (inFlightFetches_ == 0)
+        panic("cache %s: fetch fill underflow", params_.name.c_str());
+    --inFlightFetches_;
+
+    --reply->fetchDepth;
+    reply->isReply = true;
+    // Still an upstream cache's fetch? Then it carries the whole line.
+    reply->payloadBytes =
+        reply->isFetch() ? params_.lineBytes : reply->bytes;
+    scheduleCompletion(std::move(reply), now);
+
+    // Fan the merged targets out through the port, one per cycle.
+    Cycle ready = now;
+    for (auto &t : targets) {
+        ++ready;
+        t->isReply = true;
+        t->payloadBytes = t->isFetch() ? params_.lineBytes : t->bytes;
+        scheduleCompletion(std::move(t), ready);
+    }
+}
+
+bool
+CacheBank::busy() const
+{
+    return !completed_.empty() || mshr_.inUse() != 0 ||
+           !downstream_.empty() || !pendingWritebacks_.empty();
+}
+
+} // namespace dcl1::mem

@@ -1,0 +1,60 @@
+#include "mem/mshr.hh"
+
+#include "common/log.hh"
+
+namespace dcl1::mem
+{
+
+bool gFetchLeakCheck = false;
+
+MemRequest::~MemRequest()
+{
+    if (gFetchLeakCheck && fetchDepth > 0)
+        panic("MemRequest destroyed while a registered fetch (line %llu)",
+              static_cast<unsigned long long>(addr / defaultLineBytes));
+}
+
+Mshr::Mshr(std::uint32_t num_entries, std::uint32_t targets_per_entry)
+    : numEntries_(num_entries), targetsPerEntry_(targets_per_entry)
+{
+    if (num_entries == 0 || targets_per_entry == 0)
+        fatal("Mshr requires at least one entry and one target");
+}
+
+MshrOutcome
+Mshr::registerMiss(LineAddr line, MemRequestPtr &req)
+{
+    auto it = entries_.find(line);
+    if (it != entries_.end()) {
+        Entry &e = it->second;
+        if (e.totalTargets >= targetsPerEntry_)
+            return MshrOutcome::NoTargetFree;
+        e.targets.push_back(std::move(req));
+        ++e.totalTargets;
+        return MshrOutcome::Merged;
+    }
+    if (entries_.size() >= numEntries_)
+        return MshrOutcome::NoEntryFree;
+    entries_.emplace(line, Entry{});
+    return MshrOutcome::NewEntry;
+}
+
+bool
+Mshr::hasEntry(LineAddr line) const
+{
+    return entries_.count(line) != 0;
+}
+
+std::vector<MemRequestPtr>
+Mshr::completeFetch(LineAddr line)
+{
+    auto it = entries_.find(line);
+    if (it == entries_.end())
+        panic("Mshr::completeFetch on line %llu with no entry",
+              static_cast<unsigned long long>(line));
+    std::vector<MemRequestPtr> targets = std::move(it->second.targets);
+    entries_.erase(it);
+    return targets;
+}
+
+} // namespace dcl1::mem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bounded FIFO used to model finite hardware queues with backpressure.
+ */
+
+#ifndef DCL1_MEM_QUEUES_HH
+#define DCL1_MEM_QUEUES_HH
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace dcl1::mem
+{
+
+/**
+ * A FIFO with a fixed capacity. Producers must check canPush() (or use
+ * tryPush) so that full queues exert backpressure instead of growing.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity = 4) : capacity_(capacity) {}
+
+    bool empty() const { return q_.empty(); }
+    bool full() const { return q_.size() >= capacity_; }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool canPush() const { return !full(); }
+
+    /** Push; caller must have checked canPush(). */
+    void
+    push(T v)
+    {
+        q_.push_back(std::move(v));
+    }
+
+    /** @return true and consume @p v if space was available. */
+    bool
+    tryPush(T &v)
+    {
+        if (full())
+            return false;
+        q_.push_back(std::move(v));
+        return true;
+    }
+
+    /** Front element; queue must be non-empty. */
+    T &front() { return q_.front(); }
+    const T &front() const { return q_.front(); }
+
+    /** Pop and return the front element; queue must be non-empty. */
+    T
+    pop()
+    {
+        T v = std::move(q_.front());
+        q_.pop_front();
+        return v;
+    }
+
+    /** Pop the front element if present. */
+    std::optional<T>
+    tryPop()
+    {
+        if (q_.empty())
+            return std::nullopt;
+        std::optional<T> v(std::move(q_.front()));
+        q_.pop_front();
+        return v;
+    }
+
+    void clear() { q_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> q_;
+};
+
+} // namespace dcl1::mem
+
+#endif // DCL1_MEM_QUEUES_HH

@@ -1,0 +1,105 @@
+#include "mem/replication_tracker.hh"
+
+#include "common/log.hh"
+
+namespace dcl1::mem
+{
+
+ReplicationTracker::ReplicationTracker(std::uint32_t num_caches)
+    : numCaches_(num_caches), statGroup_("replication")
+{
+    if (num_caches == 0 || num_caches > 128)
+        fatal("ReplicationTracker supports 1..128 caches, got %u",
+              num_caches);
+    statGroup_.addScalar("misses", &misses_);
+    statGroup_.addScalar("replicated_misses", &replicated_);
+    statGroup_.addScalar("installs", &installs_);
+    statGroup_.addScalar("install_copies", &installCopies_);
+}
+
+void
+ReplicationTracker::onInstall(std::uint32_t cache_id, LineAddr line)
+{
+    if (cache_id >= numCaches_)
+        panic("ReplicationTracker: cache id %u out of range", cache_id);
+    Presence &p = lines_[line];
+    const std::uint64_t mask = 1ull << (cache_id % 64);
+    auto &word = p.bits[cache_id / 64];
+    if (word & mask)
+        return; // duplicate install notification
+    word |= mask;
+    ++p.count;
+    ++installs_;
+    installCopies_ += p.count;
+}
+
+void
+ReplicationTracker::onEvict(std::uint32_t cache_id, LineAddr line)
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return;
+    Presence &p = it->second;
+    const std::uint64_t mask = 1ull << (cache_id % 64);
+    auto &word = p.bits[cache_id / 64];
+    if (!(word & mask))
+        return;
+    word &= ~mask;
+    if (--p.count == 0)
+        lines_.erase(it);
+}
+
+void
+ReplicationTracker::onMiss(std::uint32_t cache_id, LineAddr line)
+{
+    ++misses_;
+    if (presentElsewhere(cache_id, line))
+        ++replicated_;
+}
+
+std::uint32_t
+ReplicationTracker::copies(LineAddr line) const
+{
+    auto it = lines_.find(line);
+    return it == lines_.end() ? 0 : it->second.count;
+}
+
+bool
+ReplicationTracker::presentElsewhere(std::uint32_t cache_id,
+                                     LineAddr line) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return false;
+    const Presence &p = it->second;
+    if (p.count == 0)
+        return false;
+    const std::uint64_t mask = 1ull << (cache_id % 64);
+    const bool self = it->second.bits[cache_id / 64] & mask;
+    return p.count > (self ? 1u : 0u);
+}
+
+double
+ReplicationTracker::replicationRatio() const
+{
+    const auto m = misses_.value();
+    return m ? double(replicated_.value()) / double(m) : 0.0;
+}
+
+double
+ReplicationTracker::avgReplicas() const
+{
+    const auto n = installs_.value();
+    return n ? double(installCopies_.value()) / double(n) : 0.0;
+}
+
+void
+ReplicationTracker::resetStats()
+{
+    misses_.reset();
+    replicated_.reset();
+    installs_.reset();
+    installCopies_.reset();
+}
+
+} // namespace dcl1::mem

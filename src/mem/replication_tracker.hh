@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Presence directory for measuring cache-line replication across L1s.
+ *
+ * Maintained from CacheBank install/evict notifications; on each demand
+ * miss it answers the paper's Figure 1 question: "could this miss have
+ * been served by another L1?" It also tracks the average number of
+ * replicas per installed line (Figure 16 discussion).
+ */
+
+#ifndef DCL1_MEM_REPLICATION_TRACKER_HH
+#define DCL1_MEM_REPLICATION_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "mem/cache_bank.hh"
+#include "stats/stats.hh"
+
+namespace dcl1::mem
+{
+
+/** See file comment. */
+class ReplicationTracker : public CacheListener
+{
+  public:
+    /** @param num_caches number of tracked L1/DC-L1 caches (<= 128). */
+    explicit ReplicationTracker(std::uint32_t num_caches);
+
+    void onInstall(std::uint32_t cache_id, LineAddr line) override;
+    void onEvict(std::uint32_t cache_id, LineAddr line) override;
+    void onMiss(std::uint32_t cache_id, LineAddr line) override;
+
+    /** Number of caches currently holding @p line. */
+    std::uint32_t copies(LineAddr line) const;
+
+    /** Is @p line held by any cache other than @p cache_id? */
+    bool presentElsewhere(std::uint32_t cache_id, LineAddr line) const;
+
+    /** Misses whose line was resident in another L1 / total misses. */
+    double replicationRatio() const;
+
+    /**
+     * Average number of copies per line, weighted by install events
+     * (i.e. the replica count observed when lines are installed).
+     */
+    double avgReplicas() const;
+
+    std::uint64_t totalMisses() const { return misses_.value(); }
+    std::uint64_t replicatedMisses() const { return replicated_.value(); }
+
+    void resetStats();
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    struct Presence
+    {
+        std::array<std::uint64_t, 2> bits{};
+        std::uint32_t count = 0;
+    };
+
+    std::uint32_t numCaches_;
+    std::unordered_map<LineAddr, Presence> lines_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar misses_;
+    stats::Scalar replicated_;
+    stats::Scalar installs_;
+    stats::Scalar installCopies_;
+};
+
+} // namespace dcl1::mem
+
+#endif // DCL1_MEM_REPLICATION_TRACKER_HH

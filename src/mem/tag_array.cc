@@ -1,0 +1,153 @@
+#include "mem/tag_array.hh"
+
+#include "common/log.hh"
+
+namespace dcl1::mem
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: cheap, high-quality 64-bit mixer. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
+
+TagArray::TagArray(std::uint32_t num_sets, std::uint32_t assoc,
+                   ReplPolicy policy)
+    : numSets_(num_sets), assoc_(assoc), policy_(policy)
+{
+    if (num_sets == 0 || assoc == 0)
+        fatal("TagArray requires at least one set and one way");
+    ways_.resize(std::size_t(numSets_) * assoc_);
+}
+
+std::uint32_t
+TagArray::setIndex(LineAddr line) const
+{
+    return static_cast<std::uint32_t>(mix(line) % numSets_);
+}
+
+TagArray::Way *
+TagArray::findWay(LineAddr line)
+{
+    const std::size_t base = std::size_t(setIndex(line)) * assoc_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.line == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+const TagArray::Way *
+TagArray::findWay(LineAddr line) const
+{
+    return const_cast<TagArray *>(this)->findWay(line);
+}
+
+bool
+TagArray::probe(LineAddr line)
+{
+    Way *way = findWay(line);
+    if (!way)
+        return false;
+    // FIFO and Random ignore recency; only LRU tracks touches.
+    if (policy_ == ReplPolicy::Lru)
+        way->lruStamp = ++stamp_;
+    return true;
+}
+
+bool
+TagArray::contains(LineAddr line) const
+{
+    return findWay(line) != nullptr;
+}
+
+Victim
+TagArray::insert(LineAddr line, bool dirty)
+{
+    if (findWay(line))
+        panic("TagArray::insert of already-resident line %llu",
+              static_cast<unsigned long long>(line));
+
+    const std::size_t base = std::size_t(setIndex(line)) * assoc_;
+    Way *target = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = ways_[base + w];
+        if (!way.valid) {
+            target = &way;
+            break;
+        }
+        if (!target || way.lruStamp < target->lruStamp)
+            target = &way;
+    }
+    if (target->valid && policy_ == ReplPolicy::Random) {
+        // xorshift64* draw over the ways of the set.
+        rngState_ ^= rngState_ >> 12;
+        rngState_ ^= rngState_ << 25;
+        rngState_ ^= rngState_ >> 27;
+        target = &ways_[base + (rngState_ * 0x2545f4914f6cdd1dull >> 32) %
+                                   assoc_];
+    }
+
+    Victim victim;
+    if (target->valid) {
+        victim.valid = true;
+        victim.dirty = target->dirty;
+        victim.line = target->line;
+    }
+    target->valid = true;
+    target->dirty = dirty;
+    target->line = line;
+    target->lruStamp = ++stamp_;
+    return victim;
+}
+
+bool
+TagArray::invalidate(LineAddr line)
+{
+    Way *way = findWay(line);
+    if (!way)
+        return false;
+    way->valid = false;
+    way->dirty = false;
+    return true;
+}
+
+bool
+TagArray::markDirty(LineAddr line)
+{
+    Way *way = findWay(line);
+    if (!way)
+        return false;
+    way->dirty = true;
+    return true;
+}
+
+void
+TagArray::flush()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+std::uint64_t
+TagArray::occupancy() const
+{
+    std::uint64_t n = 0;
+    for (const auto &way : ways_)
+        if (way.valid)
+            ++n;
+    return n;
+}
+
+} // namespace dcl1::mem

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Set-associative tag array with true-LRU replacement.
+ *
+ * Set indices are hashed (splitmix64 finalizer) so that address-sliced
+ * placement (home-bit / L2-bank interleaving fixes low line-address
+ * bits) still spreads lines across all sets — the same reason GPU L2s
+ * hash their set index.
+ */
+
+#ifndef DCL1_MEM_TAG_ARRAY_HH
+#define DCL1_MEM_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcl1::mem
+{
+
+/** Result of a tag insertion. */
+struct Victim
+{
+    bool valid = false;  ///< a line was evicted
+    bool dirty = false;  ///< the evicted line was dirty
+    LineAddr line = 0;   ///< evicted line address
+};
+
+/** Victim-selection policy. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,    ///< true LRU (default; GPGPU-Sim's L1/L2 default)
+    Fifo,   ///< insertion order, no touch update
+    Random, ///< pseudo-random way (cheap hardware)
+};
+
+/** Set-associative tag array keyed by line address. */
+class TagArray
+{
+  public:
+    /**
+     * @param num_sets number of sets (>= 1, any value)
+     * @param assoc ways per set (>= 1)
+     * @param policy victim-selection policy
+     */
+    TagArray(std::uint32_t num_sets, std::uint32_t assoc,
+             ReplPolicy policy = ReplPolicy::Lru);
+
+    /** @return true iff @p line is resident; updates LRU when found. */
+    bool probe(LineAddr line);
+
+    /** @return true iff @p line is resident; no LRU update. */
+    bool contains(LineAddr line) const;
+
+    /**
+     * Insert @p line (must not be resident), evicting the LRU way if the
+     * set is full.
+     * @return description of the victim, if any.
+     */
+    Victim insert(LineAddr line, bool dirty = false);
+
+    /** Invalidate @p line if resident. @return true if it was. */
+    bool invalidate(LineAddr line);
+
+    /** Mark @p line dirty if resident. @return true if it was. */
+    bool markDirty(LineAddr line);
+
+    /** Invalidate everything. */
+    void flush();
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Number of currently valid lines (O(capacity); for tests/stats). */
+    std::uint64_t occupancy() const;
+
+    /** Map a line address to its (hashed) set index. */
+    std::uint32_t setIndex(LineAddr line) const;
+
+  private:
+    struct Way
+    {
+        LineAddr line = 0;
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Way *findWay(LineAddr line);
+    const Way *findWay(LineAddr line) const;
+
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    ReplPolicy policy_;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t rngState_ = 0x2545f4914f6cdd1dull;
+    std::vector<Way> ways_; ///< numSets_ * assoc_, set-major
+};
+
+} // namespace dcl1::mem
+
+#endif // DCL1_MEM_TAG_ARRAY_HH

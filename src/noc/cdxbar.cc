@@ -1,0 +1,156 @@
+#include "noc/cdxbar.hh"
+
+#include "common/log.hh"
+
+namespace dcl1::noc
+{
+
+CdXbarNet::CdXbarNet(const CdxParams &params) : params_(params)
+{
+    if (params.clusters == 0 || params.perCluster == 0 ||
+        params.trunksPerCluster == 0 || params.globalPorts == 0) {
+        fatal("CdXbarNet %s: all geometry fields must be nonzero",
+              params.name.c_str());
+    }
+
+    const bool conc = params.direction == CdxDirection::Concentrate;
+    for (std::uint32_t z = 0; z < params.clusters; ++z) {
+        XbarParams xp;
+        xp.name = params.name + ".local" + std::to_string(z);
+        xp.numInputs = conc ? params.perCluster : params.trunksPerCluster;
+        xp.numOutputs = conc ? params.trunksPerCluster : params.perCluster;
+        xp.inputQueueCap = params.inputQueueCap;
+        xp.outputQueueCap = params.outputQueueCap;
+        xp.routerLatency = params.routerLatency;
+        xp.clockRatio = params.localClockRatio;
+        locals_.push_back(std::make_unique<Crossbar>(xp));
+    }
+
+    XbarParams gp;
+    gp.name = params.name + ".global";
+    const std::uint32_t trunks = params.clusters * params.trunksPerCluster;
+    gp.numInputs = conc ? trunks : params.globalPorts;
+    gp.numOutputs = conc ? params.globalPorts : trunks;
+    gp.inputQueueCap = params.inputQueueCap;
+    gp.outputQueueCap = params.outputQueueCap;
+    gp.routerLatency = params.routerLatency;
+    gp.clockRatio = params.globalClockRatio;
+    global_ = std::make_unique<Crossbar>(gp);
+}
+
+std::uint32_t
+CdXbarNet::numNear() const
+{
+    return params_.clusters * params_.perCluster;
+}
+
+bool
+CdXbarNet::canInject(std::uint32_t src) const
+{
+    if (params_.direction == CdxDirection::Concentrate) {
+        return locals_[src / params_.perCluster]->canInject(
+            src % params_.perCluster);
+    }
+    return global_->canInject(src);
+}
+
+void
+CdXbarNet::inject(std::uint32_t src, std::uint32_t dst,
+                  mem::MemRequestPtr req, std::uint32_t flits)
+{
+    Packet pkt;
+    pkt.flits = flits;
+    pkt.endpoint = dst;
+    pkt.req = std::move(req);
+
+    if (params_.direction == CdxDirection::Concentrate) {
+        // Core -> local crossbar; trunk chosen by final destination so
+        // traffic to different slices spreads over the K trunks.
+        pkt.src = src % params_.perCluster;
+        pkt.dst = dst % params_.trunksPerCluster;
+        locals_[src / params_.perCluster]->inject(std::move(pkt));
+    } else {
+        // Slice -> global crossbar; trunk of the destination cluster
+        // chosen by destination index for spread.
+        const std::uint32_t cluster = dst / params_.perCluster;
+        pkt.src = src;
+        pkt.dst = cluster * params_.trunksPerCluster +
+                  (dst % params_.trunksPerCluster);
+        global_->inject(std::move(pkt));
+    }
+}
+
+std::optional<mem::MemRequestPtr>
+CdXbarNet::eject(std::uint32_t dst)
+{
+    std::optional<Packet> pkt;
+    if (params_.direction == CdxDirection::Concentrate)
+        pkt = global_->eject(dst);
+    else
+        pkt = locals_[dst / params_.perCluster]->eject(
+            dst % params_.perCluster);
+    if (!pkt)
+        return std::nullopt;
+    return std::move(pkt->req);
+}
+
+void
+CdXbarNet::tick()
+{
+    for (auto &local : locals_)
+        local->tick();
+    global_->tick();
+
+    // Inter-stage glue: move packets that finished one stage into the
+    // next, respecting input-queue backpressure.
+    if (params_.direction == CdxDirection::Concentrate) {
+        for (std::uint32_t z = 0; z < params_.clusters; ++z) {
+            for (std::uint32_t k = 0; k < params_.trunksPerCluster; ++k) {
+                const std::uint32_t trunk =
+                    z * params_.trunksPerCluster + k;
+                while (locals_[z]->hasEjectable(k) &&
+                       global_->canInject(trunk)) {
+                    Packet pkt = *locals_[z]->eject(k);
+                    pkt.src = trunk;
+                    pkt.dst = pkt.endpoint;
+                    global_->inject(std::move(pkt));
+                }
+            }
+        }
+    } else {
+        for (std::uint32_t z = 0; z < params_.clusters; ++z) {
+            for (std::uint32_t k = 0; k < params_.trunksPerCluster; ++k) {
+                const std::uint32_t trunk =
+                    z * params_.trunksPerCluster + k;
+                while (global_->hasEjectable(trunk) &&
+                       locals_[z]->canInject(k)) {
+                    Packet pkt = *global_->eject(trunk);
+                    pkt.src = k;
+                    pkt.dst = pkt.endpoint % params_.perCluster;
+                    locals_[z]->inject(std::move(pkt));
+                }
+            }
+        }
+    }
+}
+
+bool
+CdXbarNet::busy() const
+{
+    if (global_->busy())
+        return true;
+    for (const auto &local : locals_)
+        if (local->busy())
+            return true;
+    return false;
+}
+
+void
+CdXbarNet::resetStats()
+{
+    global_->resetStats();
+    for (auto &local : locals_)
+        local->resetStats();
+}
+
+} // namespace dcl1::noc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Flit-level crossbar switch with virtual output queues and a
+ * single-iteration iSLIP allocator.
+ *
+ * Each input holds one VOQ per output. Every NoC cycle the allocator
+ * matches free inputs to free outputs (request/grant/accept with
+ * rotating priorities); a matched packet then occupies its input and
+ * output ports for `flits` NoC cycles and appears in the output queue
+ * after the router pipeline latency. The crossbar runs at a rational
+ * ratio of the core clock (0.5 at the platform's 700 MHz; 1.0 when the
+ * paper's *Boost* doubles NoC#1 frequency).
+ */
+
+#ifndef DCL1_NOC_CROSSBAR_HH
+#define DCL1_NOC_CROSSBAR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/packet.hh"
+#include "stats/stats.hh"
+
+namespace dcl1::noc
+{
+
+/** Static configuration of a crossbar. */
+struct XbarParams
+{
+    std::string name = "xbar";
+    std::uint32_t numInputs = 1;
+    std::uint32_t numOutputs = 1;
+    std::uint32_t inputQueueCap = 16; ///< packets buffered per input
+    std::uint32_t outputQueueCap = 4; ///< packets buffered per output
+    std::uint32_t routerLatency = 2;  ///< pipeline depth, NoC cycles
+    double clockRatio = 0.5;          ///< NoC cycles per core cycle
+};
+
+/** See file comment. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const XbarParams &params);
+
+    /** Room for another packet at @p input? */
+    bool canInject(std::uint32_t input) const;
+
+    /** Inject @p pkt (pkt.src/pkt.dst must be set; checked). */
+    void inject(Packet pkt);
+
+    /** Pop a delivered packet at @p output, if any. */
+    std::optional<Packet> eject(std::uint32_t output);
+
+    /** Peek whether @p output has a delivered packet. */
+    bool hasEjectable(std::uint32_t output) const;
+
+    /** Advance one *core* cycle (internally ticks on the clock ratio). */
+    void tick();
+
+    /** Any buffered or in-flight packets? */
+    bool busy() const;
+
+    const XbarParams &params() const { return params_; }
+    Cycle nocCycles() const { return nocCycle_; }
+
+    /// @name Statistics
+    /// @{
+    stats::StatGroup &statGroup() { return statGroup_; }
+    std::uint64_t packetsDelivered() const { return delivered_.value(); }
+    std::uint64_t totalFlits() const { return flits_.value(); }
+    /** Flits delivered through @p output (for link utilization). */
+    std::uint64_t outputFlits(std::uint32_t output) const;
+    std::uint32_t inputOccupancy(std::uint32_t input) const
+    {
+        return inputOcc_[input];
+    }
+    std::size_t outQueueSize(std::uint32_t output) const
+    {
+        return outQ_[output].size();
+    }
+    /** Utilization of @p output's link: busy NoC cycles / NoC cycles. */
+    double outputUtilization(std::uint32_t output) const;
+    /** Mean in-network latency in NoC cycles. */
+    double avgPacketLatency() const;
+    void resetStats();
+    /// @}
+
+    /// @name Allocator debug counters (per nocTick sums)
+    /// @{
+    std::uint64_t dbgOutBusy = 0;
+    std::uint64_t dbgOutQFull = 0;
+    std::uint64_t dbgNoRequest = 0;
+    std::uint64_t dbgNoFreeInput = 0;
+    std::uint64_t dbgGrants = 0;
+    std::uint64_t dbgAccepts = 0;
+    /** Consistency probe: {sum voq sizes, sum inputOcc, nonempty voqs,
+     *  set request bits}. */
+    std::array<std::uint64_t, 4> dbgVoqState() const;
+    /// @}
+
+  private:
+    void nocTick();
+    void allocate();
+
+    std::size_t voqIndex(std::uint32_t in, std::uint32_t out) const
+    {
+        return std::size_t(in) * params_.numOutputs + out;
+    }
+
+    XbarParams params_;
+
+    std::vector<std::deque<Packet>> voq_;       ///< I*O queues
+    std::vector<std::uint32_t> inputOcc_;       ///< packets per input
+    std::vector<std::array<std::uint64_t, 2>> reqBits_; ///< per output
+    std::vector<std::uint32_t> grantPtr_;       ///< per output (iSLIP)
+    std::vector<std::uint32_t> acceptPtr_;      ///< per input (iSLIP)
+    std::vector<Cycle> inputFreeAt_;            ///< NoC cycles
+    std::vector<Cycle> outputFreeAt_;
+    std::vector<std::uint32_t> outReserved_;    ///< in-transit per output
+
+    /** Packets traversing the switch: ready NoC cycle + packet. */
+    std::vector<std::pair<Cycle, Packet>> inTransit_;
+
+    std::vector<std::deque<Packet>> outQ_;
+
+    Cycle nocCycle_ = 0;
+    double phase_ = 0.0;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar delivered_;
+    stats::Scalar flits_;
+    stats::Scalar latencySum_;
+    std::vector<std::uint64_t> outputFlits_;
+    Cycle statStartCycle_ = 0;
+};
+
+} // namespace dcl1::noc
+
+#endif // DCL1_NOC_CROSSBAR_HH

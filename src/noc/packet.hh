@@ -1,0 +1,52 @@
+/**
+ * @file
+ * NoC packet: a memory transaction plus its serialization cost in flits.
+ *
+ * The platform uses 32 B flits (Table II). Control-only packets (read
+ * requests, write ACKs) are one flit; data-carrying packets add one
+ * flit per 32 B of payload, so a full 128 B line reply serializes over
+ * four flits — the source of the paper's "peak L1 bandwidth drop"
+ * under DC-L1 designs.
+ */
+
+#ifndef DCL1_NOC_PACKET_HH
+#define DCL1_NOC_PACKET_HH
+
+#include <cstdint>
+
+#include "common/bitutils.hh"
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace dcl1::noc
+{
+
+/** A packet in flight inside one crossbar. */
+struct Packet
+{
+    std::uint32_t src = 0;  ///< input port of the current crossbar
+    std::uint32_t dst = 0;  ///< output port of the current crossbar
+    std::uint32_t flits = 1;
+    Cycle injectedAt = 0;   ///< NoC cycle of injection (stats)
+
+    /** Final endpoint for multi-stage networks. */
+    std::uint32_t endpoint = 0;
+
+    mem::MemRequestPtr req;
+};
+
+/** Serialization cost of a request on a network with @p flit_bytes. */
+inline std::uint32_t
+flitsFor(const mem::MemRequest &req,
+         std::uint32_t flit_bytes = defaultFlitBytes)
+{
+    // One header/control flit; payload data rides in additional flits.
+    if (req.payloadBytes == 0)
+        return 1;
+    return static_cast<std::uint32_t>(
+        divCeil(req.payloadBytes, flit_bytes));
+}
+
+} // namespace dcl1::noc
+
+#endif // DCL1_NOC_PACKET_HH

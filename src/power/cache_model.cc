@@ -1,0 +1,29 @@
+#include "power/cache_model.hh"
+
+namespace dcl1::power
+{
+
+L1AreaBreakdown
+CacheAreaModel::l1Breakdown(const core::DesignConfig &design,
+                            const core::SystemConfig &sys) const
+{
+    L1AreaBreakdown out;
+    if (design.topology == core::Topology::DcL1) {
+        out.banks = design.numNodes;
+        out.cacheArea =
+            double(out.banks) * bankArea(design.l1SizeFor(sys));
+        // Q1..Q4, each nodeQueueCap entries of one line.
+        const double per_node_queues =
+            4.0 * double(sys.nodeQueueCap) * double(sys.lineBytes);
+        out.queueArea = double(out.banks) * per_node_queues;
+    } else {
+        out.banks = sys.numCores;
+        out.cacheArea =
+            double(out.banks) * bankArea(design.l1SizeFor(sys));
+        out.queueArea = 0.0;
+    }
+    out.totalArea = out.cacheArea + out.queueArea;
+    return out;
+}
+
+} // namespace dcl1::power

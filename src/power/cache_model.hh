@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CACTI-like cache / queue area accounting (paper Fig. 18b).
+ *
+ * Each cache bank costs its SRAM bytes plus a fixed per-bank overhead
+ * (decoders, sense amplifiers, port logic). Aggregating 80 x 16 KB L1s
+ * into 40 x 32 KB DC-L1s keeps the byte total but halves the bank
+ * overhead — the paper's "8 % cache area savings / 50 % fewer cache
+ * ports". DC-L1 node queues (Q1..Q4, four 128 B entries each) add the
+ * paper's 6.25 % overhead relative to the total baseline L1 capacity.
+ */
+
+#ifndef DCL1_POWER_CACHE_MODEL_HH
+#define DCL1_POWER_CACHE_MODEL_HH
+
+#include <cstdint>
+
+#include "core/design.hh"
+#include "core/system_config.hh"
+
+namespace dcl1::power
+{
+
+/** Area breakdown of the L1 level of a design. */
+struct L1AreaBreakdown
+{
+    double cacheArea = 0.0;  ///< SRAM + per-bank overhead (KB-equiv)
+    double queueArea = 0.0;  ///< DC-L1 node queues (KB-equiv)
+    double totalArea = 0.0;
+    std::uint32_t banks = 0; ///< number of L1/DC-L1 banks (= ports)
+};
+
+/** See file comment. */
+class CacheAreaModel
+{
+  public:
+    /** Fixed per-bank overhead in byte-equivalents (fitted: 8 %
+     *  savings when halving the bank count of the 1.25 MB L1 level). */
+    explicit CacheAreaModel(double bank_overhead_bytes = 3072.0)
+        : bankOverheadBytes_(bank_overhead_bytes)
+    {}
+
+    /** Area of one bank of @p size_bytes (byte-equivalents). */
+    double
+    bankArea(std::uint64_t size_bytes) const
+    {
+        return double(size_bytes) + bankOverheadBytes_;
+    }
+
+    /** L1-level breakdown for a design on a platform. */
+    L1AreaBreakdown l1Breakdown(const core::DesignConfig &design,
+                                const core::SystemConfig &sys) const;
+
+  private:
+    double bankOverheadBytes_;
+};
+
+} // namespace dcl1::power
+
+#endif // DCL1_POWER_CACHE_MODEL_HH

@@ -1,0 +1,46 @@
+#include "power/energy_model.hh"
+
+namespace dcl1::power
+{
+
+NocEnergyReport
+NocEnergyModel::evaluate(const core::DesignConfig &design,
+                         const core::SystemConfig &sys,
+                         const core::RunMetrics &rm) const
+{
+    NocEnergyReport out;
+    const auto inventory = core::crossbarInventory(design, sys);
+    out.staticPowerW = model_.cost(inventory).staticPowerW;
+
+    // Representative per-flit energies per NoC level (area-weighted
+    // over the level's instances).
+    double e1 = 0.0, w1 = 0.0;
+    double e2 = 0.0, w2 = 0.0;
+    for (const auto &g : inventory) {
+        const double weight = double(g.count);
+        if (g.level == 1) {
+            e1 += model_.flitEnergyPj(g) * weight;
+            w1 += weight;
+        } else {
+            e2 += model_.flitEnergyPj(g) * weight;
+            w2 += weight;
+        }
+    }
+    if (w1 > 0.0)
+        e1 /= w1;
+    if (w2 > 0.0)
+        e2 /= w2;
+
+    out.seconds = rm.cycles / (coreClockGhz_ * 1e9);
+    if (out.seconds <= 0.0)
+        return out;
+
+    const double dyn_pj =
+        double(rm.noc1Flits) * e1 + double(rm.noc2Flits) * e2;
+    out.dynamicPowerW = dyn_pj * 1e-12 / out.seconds;
+    out.totalPowerW = out.staticPowerW + out.dynamicPowerW;
+    out.energyUj = out.totalPowerW * out.seconds * 1e6;
+    return out;
+}
+
+} // namespace dcl1::power

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * NoC energy accounting (paper Fig. 18a).
+ *
+ * Static power comes from the XbarModel; dynamic power charges each
+ * NoC#1/NoC#2 flit the per-flit traversal energy of its crossbar
+ * level. Reported energies combine both over the measured interval:
+ *
+ *   P_dyn  = sum(flits_level * E_flit(level)) / T
+ *   E      = (P_static + P_dyn) * T
+ *
+ * with T the measured interval at the 1400 MHz core clock.
+ */
+
+#ifndef DCL1_POWER_ENERGY_MODEL_HH
+#define DCL1_POWER_ENERGY_MODEL_HH
+
+#include "core/design.hh"
+#include "core/gpu_system.hh"
+#include "power/xbar_model.hh"
+
+namespace dcl1::power
+{
+
+/** Power/energy of one design running one workload interval. */
+struct NocEnergyReport
+{
+    double staticPowerW = 0.0;
+    double dynamicPowerW = 0.0;
+    double totalPowerW = 0.0;
+    double energyUj = 0.0;     ///< total NoC energy over the interval
+    double seconds = 0.0;
+};
+
+/** See file comment. */
+class NocEnergyModel
+{
+  public:
+    explicit NocEnergyModel(XbarModel model = XbarModel(),
+                            double core_clock_ghz = 1.4)
+        : model_(model), coreClockGhz_(core_clock_ghz)
+    {}
+
+    /** Evaluate a design's NoC power for a measured run. */
+    NocEnergyReport evaluate(const core::DesignConfig &design,
+                             const core::SystemConfig &sys,
+                             const core::RunMetrics &rm) const;
+
+  private:
+    XbarModel model_;
+    double coreClockGhz_;
+};
+
+} // namespace dcl1::power
+
+#endif // DCL1_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,70 @@
+#include "power/xbar_model.hh"
+
+#include <cmath>
+
+namespace dcl1::power
+{
+
+namespace
+{
+
+// Fitted against the paper's DSENT-derived relative numbers; see the
+// file comment in xbar_model.hh. Units are nominal mm^2 / W at 22 nm.
+constexpr double kFabricAreaCoeff = 1.62e-4; // per (in x out) at 32 B
+constexpr double kPortAreaCoeff = 4.7 * kFabricAreaCoeff; // per port
+constexpr double kFabricPowerCoeff = 2.0e-4;
+constexpr double kPortPowerCoeff = 13.0 * kFabricPowerCoeff;
+
+// fmax = kF0 / (1 + kFk * log2(max radix)) GHz.
+constexpr double kF0 = 4.5;
+constexpr double kFk = 0.5;
+
+// Per-flit energy: fixed + log2(in*out) + link-length terms (pJ).
+constexpr double kFlitE0 = 1.0;
+constexpr double kFlitELog = 0.30;
+constexpr double kFlitEMm = 0.15;
+
+} // anonymous namespace
+
+double
+XbarModel::area(const core::XbarGeometry &g) const
+{
+    const double w_scale =
+        double(flitBytes_) * double(flitBytes_) / (32.0 * 32.0);
+    const double fabric = (g.numInputs == 1 && g.numOutputs == 1)
+                              ? 0.0
+                              : kFabricAreaCoeff * g.numInputs *
+                                    g.numOutputs * w_scale;
+    const double ports = kPortAreaCoeff * portUnits(g);
+    return fabric + ports;
+}
+
+double
+XbarModel::staticPower(const core::XbarGeometry &g) const
+{
+    const double fabric = (g.numInputs == 1 && g.numOutputs == 1)
+                              ? 0.0
+                              : kFabricPowerCoeff * g.numInputs *
+                                    g.numOutputs;
+    const double ports = kPortPowerCoeff * portUnits(g);
+    return fabric + ports;
+}
+
+double
+XbarModel::maxFrequencyGHz(std::uint32_t inputs,
+                           std::uint32_t outputs) const
+{
+    const double radix = double(std::max(inputs, outputs));
+    return kF0 / (1.0 + kFk * std::log2(std::max(radix, 1.0)));
+}
+
+double
+XbarModel::flitEnergyPj(const core::XbarGeometry &g) const
+{
+    const double xbar_term =
+        kFlitELog *
+        std::log2(std::max(2.0, double(g.numInputs) * g.numOutputs));
+    return kFlitE0 + xbar_term + kFlitEMm * g.linkMm;
+}
+
+} // namespace dcl1::power

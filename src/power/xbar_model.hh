@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DSENT-like analytical crossbar area / power / frequency model.
+ *
+ * The paper models its NoCs with DSENT at 22 nm and reports *relative*
+ * area and power between crossbar geometries (Figs. 6, 12, 13b, 18).
+ * This model reproduces those relations with two scaling terms:
+ *
+ *  - fabric:  I x O x W^2 wire matrix (the crossbar proper),
+ *  - ports:   per-port buffers + switch-allocator logic, linear in
+ *             (I + O) per instance, with 1x1 "crossbars" (direct
+ *             links) charged only a quarter port (no router).
+ *
+ * Static power uses the same terms with a buffer-heavy weighting;
+ * maximum frequency falls logarithmically with radix. Coefficients
+ * were fitted to the paper's published relative numbers (e.g. Pr40
+ * -28 % NoC area, Sh40 +69 %, Sh40+C10 -50 %; 80x32 unable to run at
+ * 2x the 700 MHz baseline while 8x4 can).
+ */
+
+#ifndef DCL1_POWER_XBAR_MODEL_HH
+#define DCL1_POWER_XBAR_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design.hh"
+
+namespace dcl1::power
+{
+
+/** Area/power/fmax results for a crossbar inventory. */
+struct NocCost
+{
+    double areaMm2 = 0.0;
+    double staticPowerW = 0.0;
+};
+
+/** See file comment. */
+class XbarModel
+{
+  public:
+    /** Flit width in bytes (Table II: 32 B). */
+    explicit XbarModel(std::uint32_t flit_bytes = 32)
+        : flitBytes_(flit_bytes)
+    {}
+
+    /** Area of one crossbar instance (mm^2, 22 nm-ish scale). */
+    double area(const core::XbarGeometry &g) const;
+
+    /** Static power of one instance (W). */
+    double staticPower(const core::XbarGeometry &g) const;
+
+    /** Maximum operating frequency (GHz). */
+    double maxFrequencyGHz(std::uint32_t inputs,
+                           std::uint32_t outputs) const;
+
+    /** Energy per flit traversal (pJ) for a geometry. */
+    double flitEnergyPj(const core::XbarGeometry &g) const;
+
+    /** Total cost of a design's crossbar inventory. */
+    NocCost
+    cost(const std::vector<core::XbarGeometry> &inventory) const
+    {
+        NocCost total;
+        for (const auto &g : inventory) {
+            total.areaMm2 += area(g) * g.count;
+            total.staticPowerW += staticPower(g) * g.count;
+        }
+        return total;
+    }
+
+  private:
+    /** Effective port weight: direct links have no router. */
+    static double
+    portUnits(const core::XbarGeometry &g)
+    {
+        const double ports = double(g.numInputs) + double(g.numOutputs);
+        if (g.numInputs == 1 && g.numOutputs == 1)
+            return 0.25 * ports;
+        return ports;
+    }
+
+    std::uint32_t flitBytes_;
+};
+
+} // namespace dcl1::power
+
+#endif // DCL1_POWER_XBAR_MODEL_HH

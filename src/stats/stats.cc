@@ -1,0 +1,125 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dcl1::stats
+{
+
+Distribution::Distribution(std::uint64_t bucket_width,
+                           std::uint32_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    if (bucket_width == 0)
+        fatal("Distribution bucket width must be nonzero");
+    if (num_buckets == 0)
+        fatal("Distribution must have at least one bucket");
+}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    std::uint64_t idx = v / bucketWidth_;
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(p / 100.0 * double(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target) {
+            // Midpoint of the bucket as the estimate.
+            return double(i) * double(bucketWidth_) +
+                   double(bucketWidth_) / 2.0;
+        }
+    }
+    // Overflow bucket: report the observed maximum.
+    return double(max_);
+}
+
+void
+StatGroup::addScalar(const std::string &name, Scalar *s)
+{
+    scalars_.emplace_back(name, s);
+}
+
+void
+StatGroup::addDistribution(const std::string &name, Distribution *d)
+{
+    dists_.emplace_back(name, d);
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, s] : scalars_)
+        s->reset();
+    for (auto &[name, d] : dists_)
+        d->reset();
+    for (auto *c : children_)
+        c->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &[name, s] : scalars_)
+        os << full << "." << name << " " << s->value() << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << full << "." << name << ".count " << d->count() << "\n";
+        os << full << "." << name << ".mean " << d->mean() << "\n";
+        os << full << "." << name << ".min " << d->min() << "\n";
+        os << full << "." << name << ".max " << d->max() << "\n";
+    }
+    for (const auto *c : children_)
+        c->dump(os, full);
+}
+
+const Scalar *
+StatGroup::findScalar(const std::string &name) const
+{
+    for (const auto &[n, s] : scalars_)
+        if (n == name)
+            return s;
+    return nullptr;
+}
+
+} // namespace dcl1::stats

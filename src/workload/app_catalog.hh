@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The 28-application catalog mirroring the paper's evaluation set
+ * (CUDA-SDK C-*, Rodinia R-*, SHOC S-*, PolyBench P-*, Tango T-*).
+ *
+ * Each entry is a synthetic WorkloadParams record calibrated so the
+ * application reproduces its published behaviour class:
+ *  - replication-sensitive (12 apps; paper Fig. 1 blue boxes),
+ *  - replication-insensitive, and within those
+ *  - the five "poor-performing" apps that regress under Sh40
+ *    (C-NN, C-RAY, P-3MM, P-GEMM, P-2DCONV; paper Fig. 9/13a).
+ *
+ * The paper's "F-2MIM" is reproduced here as F-2MM (a camping-limited
+ * replication-sensitive app); see EXPERIMENTS.md.
+ */
+
+#ifndef DCL1_WORKLOAD_APP_CATALOG_HH
+#define DCL1_WORKLOAD_APP_CATALOG_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace dcl1::workload
+{
+
+/** Catalog entry: parameters plus the paper's classification. */
+struct AppInfo
+{
+    WorkloadParams params;
+    bool replicationSensitive = false;
+    bool poorUnderSh40 = false;
+};
+
+/** All 28 applications, in catalog order. */
+const std::vector<AppInfo> &appCatalog();
+
+/** Lookup by name; fatal() if unknown. */
+const AppInfo &appByName(const std::string &name);
+
+/** The 12 replication-sensitive applications. */
+std::vector<AppInfo> replicationSensitiveApps();
+
+/** The 16 replication-insensitive applications. */
+std::vector<AppInfo> replicationInsensitiveApps();
+
+/** The five poor-performing (under Sh40) applications. */
+std::vector<AppInfo> poorPerformingApps();
+
+} // namespace dcl1::workload
+
+#endif // DCL1_WORKLOAD_APP_CATALOG_HH

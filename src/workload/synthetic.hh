@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The synthetic TraceSource implementation driven by WorkloadParams.
+ *
+ * Address-space layout (line granularity, 128 B lines):
+ *   shared segment   lines [0, sharedLines)
+ *   private segments base 2^23 + core * 2^16 lines
+ *   bypass segments  base 2^33 + core * 2^10 lines (I$/texture misses)
+ */
+
+#ifndef DCL1_WORKLOAD_SYNTHETIC_HH
+#define DCL1_WORKLOAD_SYNTHETIC_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace dcl1::workload
+{
+
+/** See file comment. */
+class SyntheticSource : public TraceSource
+{
+  public:
+    /**
+     * @param params application description
+     * @param num_cores GPU core count
+     * @param line_bytes cache line size
+     * @param seed experiment seed (deterministic streams)
+     */
+    SyntheticSource(const WorkloadParams &params, std::uint32_t num_cores,
+                    std::uint32_t line_bytes, std::uint64_t seed);
+
+    void nextInstr(CoreId core, WarpId warp, Cycle now,
+                   WarpInstr &out) override;
+
+    std::uint32_t warpsPerCore(CoreId core) const override;
+
+    const WorkloadParams &params() const { return params_; }
+
+    /** Private working-set size of @p core in lines (imbalance-aware). */
+    std::uint64_t privateLinesOf(CoreId core) const;
+
+  private:
+    LineAddr sharedLine(CoreId core, Cycle now, Rng &rng);
+    LineAddr privateLine(CoreId core, WarpId warp, Rng &rng);
+
+    WorkloadParams params_;
+    std::uint32_t numCores_;
+    std::uint32_t lineBytes_;
+
+    struct WarpState
+    {
+        std::uint64_t streamPos = 0;
+        std::array<LineAddr, 8> recent{};
+        std::uint8_t recentCount = 0;
+        std::uint8_t recentHead = 0;
+    };
+
+    std::vector<Rng> coreRng_;        ///< one RNG per core
+    std::vector<WarpState> warpState_; ///< core-major [core][warp]
+};
+
+} // namespace dcl1::workload
+
+#endif // DCL1_WORKLOAD_SYNTHETIC_HH

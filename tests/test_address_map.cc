@@ -1,0 +1,74 @@
+/** @file Unit and property tests for the global address map. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mem/address_map.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::mem;
+
+TEST(AddressMap, ChunkInterleave)
+{
+    AddressMap map(32, 16, 256);
+    EXPECT_EQ(map.slice(0), 0u);
+    EXPECT_EQ(map.slice(255), 0u);
+    EXPECT_EQ(map.slice(256), 1u);
+    EXPECT_EQ(map.slice(256 * 32), 0u);
+    EXPECT_EQ(map.slice(256 * 33), 1u);
+}
+
+TEST(AddressMap, BothLinesOfAChunkShareASlice)
+{
+    AddressMap map(32, 16, 256);
+    for (Addr chunk = 0; chunk < 1000; ++chunk) {
+        EXPECT_EQ(map.slice(chunk * 256), map.slice(chunk * 256 + 128));
+    }
+}
+
+TEST(AddressMap, ChannelGrouping)
+{
+    AddressMap map(32, 16, 256);
+    for (SliceId s = 0; s < 32; ++s)
+        EXPECT_EQ(map.channelOfSlice(s), s % 16);
+    EXPECT_EQ(map.channel(256 * 17), map.channelOfSlice(17));
+}
+
+TEST(AddressMap, RejectsBadGeometry)
+{
+    EXPECT_EXIT(AddressMap(30, 16), ::testing::ExitedWithCode(1),
+                "not divisible");
+    EXPECT_EXIT(AddressMap(0, 4), ::testing::ExitedWithCode(1),
+                "nonzero");
+}
+
+/** Property: slices are evenly loaded by a linear sweep. */
+class AddressBalanceTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(AddressBalanceTest, LinearSweepIsBalanced)
+{
+    const auto [slices, channels] = GetParam();
+    AddressMap map(slices, channels);
+    std::map<SliceId, int> counts;
+    const int chunks = 32 * int(slices);
+    for (int c = 0; c < chunks; ++c)
+        counts[map.slice(Addr(c) * map.chunkBytes())]++;
+    for (const auto &[slice, n] : counts)
+        EXPECT_EQ(n, 32);
+    EXPECT_EQ(counts.size(), slices);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AddressBalanceTest,
+    ::testing::Values(std::make_pair(32u, 16u), std::make_pair(48u, 24u),
+                      std::make_pair(16u, 16u), std::make_pair(8u, 4u)));
+
+} // anonymous namespace

@@ -1,0 +1,282 @@
+/** @file Unit tests for the timed cache bank. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_bank.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::mem;
+
+CacheBankParams
+smallParams()
+{
+    CacheBankParams p;
+    p.name = "test";
+    p.sizeBytes = 4 * 1024; // 32 lines
+    p.assoc = 4;
+    p.lineBytes = 128;
+    p.latency = 10;
+    p.mshrs = 4;
+    p.targetsPerMshr = 4;
+    p.downstreamCap = 4;
+    return p;
+}
+
+MemRequestPtr
+read(Addr addr, CoreId core = 0, Cycle now = 0)
+{
+    return makeRequest(MemOp::Read, addr, 32, core, 0, now);
+}
+
+MemRequestPtr
+write(Addr addr, Cycle now = 0)
+{
+    return makeRequest(MemOp::Write, addr, 32, 0, 0, now);
+}
+
+/** Drive the bank so line @p addr becomes resident. */
+void
+installViaFill(CacheBank &bank, Addr addr, Cycle &now)
+{
+    auto r = read(addr);
+    ASSERT_EQ(bank.access(r, ++now), AccessOutcome::Miss);
+    auto fetch = bank.takeDownstream();
+    ASSERT_TRUE(fetch.has_value());
+    (*fetch)->isReply = true;
+    bank.fill(std::move(*fetch), ++now);
+    // Drain the completion.
+    now += 1;
+    auto done = bank.takeCompleted(now);
+    ASSERT_TRUE(done.has_value());
+}
+
+TEST(CacheBank, MissSendsFetchDownstream)
+{
+    CacheBank bank(smallParams());
+    auto r = read(0x1000);
+    EXPECT_EQ(bank.access(r, 1), AccessOutcome::Miss);
+    EXPECT_FALSE(r);
+    auto fetch = bank.takeDownstream();
+    ASSERT_TRUE(fetch.has_value());
+    EXPECT_TRUE((*fetch)->isFetch());
+    EXPECT_EQ((*fetch)->addr, 0x1000u);
+    EXPECT_EQ(bank.misses(), 1u);
+}
+
+TEST(CacheBank, HitAfterFillWithLatency)
+{
+    CacheBank bank(smallParams());
+    Cycle now = 0;
+    installViaFill(bank, 0x2000, now);
+
+    auto r = read(0x2000);
+    const Cycle at = ++now;
+    EXPECT_EQ(bank.access(r, at), AccessOutcome::Hit);
+    EXPECT_FALSE(bank.takeCompleted(at + 9).has_value());
+    auto done = bank.takeCompleted(at + 10);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_TRUE((*done)->isReply);
+    EXPECT_EQ(bank.hits(), 1u);
+}
+
+TEST(CacheBank, PortIsSingleIssuePerCycle)
+{
+    CacheBank bank(smallParams());
+    auto r1 = read(0x0);
+    EXPECT_TRUE(bank.canAccept(5));
+    bank.access(r1, 5);
+    EXPECT_FALSE(bank.canAccept(5));
+    EXPECT_TRUE(bank.canAccept(6));
+}
+
+TEST(CacheBank, MshrMergeAcrossCores)
+{
+    CacheBank bank(smallParams());
+    auto r1 = read(0x3000, /*core=*/0);
+    auto r2 = read(0x3000, /*core=*/1);
+    EXPECT_EQ(bank.access(r1, 1), AccessOutcome::Miss);
+    EXPECT_EQ(bank.access(r2, 2), AccessOutcome::Miss);
+    EXPECT_EQ(bank.mshrMerges(), 1u);
+    // Only one fetch goes downstream.
+    EXPECT_TRUE(bank.takeDownstream().has_value());
+    EXPECT_FALSE(bank.takeDownstream().has_value());
+}
+
+TEST(CacheBank, FillFansOutMergedTargets)
+{
+    CacheBank bank(smallParams());
+    auto r1 = read(0x3000, 0);
+    auto r2 = read(0x3000, 1);
+    bank.access(r1, 1);
+    bank.access(r2, 2);
+    auto fetch = bank.takeDownstream();
+    (*fetch)->isReply = true;
+    bank.fill(std::move(*fetch), 50);
+
+    int completions = 0;
+    for (Cycle t = 50; t < 60; ++t) {
+        while (auto done = bank.takeCompleted(t)) {
+            EXPECT_TRUE((*done)->isReply);
+            ++completions;
+        }
+    }
+    EXPECT_EQ(completions, 2);
+    EXPECT_TRUE(bank.tags().contains(0x3000 / 128));
+}
+
+TEST(CacheBank, WriteEvictInvalidatesAndForwards)
+{
+    CacheBank bank(smallParams());
+    Cycle now = 0;
+    installViaFill(bank, 0x4000, now);
+    ASSERT_TRUE(bank.tags().contains(0x4000 / 128));
+
+    auto w = write(0x4000);
+    EXPECT_EQ(bank.access(w, ++now), AccessOutcome::Miss);
+    // The line is gone (write-evict) and the write went downstream.
+    EXPECT_FALSE(bank.tags().contains(0x4000 / 128));
+    auto down = bank.takeDownstream();
+    ASSERT_TRUE(down.has_value());
+    EXPECT_TRUE((*down)->isWrite());
+    EXPECT_EQ((*down)->payloadBytes, 32u);
+}
+
+TEST(CacheBank, WriteDoesNotAllocate)
+{
+    CacheBank bank(smallParams());
+    auto w = write(0x5000);
+    bank.access(w, 1);
+    EXPECT_FALSE(bank.tags().contains(0x5000 / 128));
+}
+
+TEST(CacheBank, WriteAckCompletesViaFill)
+{
+    CacheBank bank(smallParams());
+    auto w = write(0x5000);
+    bank.access(w, 1);
+    auto down = bank.takeDownstream();
+    (*down)->isReply = true;
+    bank.fill(std::move(*down), 20);
+    auto done = bank.takeCompleted(20);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_TRUE((*done)->isWrite());
+}
+
+TEST(CacheBank, WriteBackPolicyCompletesLocally)
+{
+    CacheBankParams p = smallParams();
+    p.policy = WritePolicy::WriteBack;
+    CacheBank bank(p);
+
+    auto w = write(0x6000);
+    EXPECT_EQ(bank.access(w, 1), AccessOutcome::Hit);
+    EXPECT_TRUE(bank.tags().contains(0x6000 / 128)); // write-validate
+    auto done = bank.takeCompleted(1 + p.latency);
+    ASSERT_TRUE(done.has_value());
+    // No downstream write-through under write-back.
+    EXPECT_FALSE(bank.takeDownstream().has_value());
+}
+
+TEST(CacheBank, WriteBackDirtyEvictionEmitsWriteback)
+{
+    CacheBankParams p = smallParams();
+    p.sizeBytes = 128; // 1 line total
+    p.assoc = 1;
+    p.policy = WritePolicy::WriteBack;
+    CacheBank bank(p);
+
+    auto w = write(0x0);
+    bank.access(w, 1);
+    bank.takeCompleted(1 + p.latency);
+
+    auto w2 = write(0x80); // evicts dirty line 0
+    bank.access(w2, 2);
+    auto wb = bank.takeDownstream();
+    ASSERT_TRUE(wb.has_value());
+    EXPECT_TRUE((*wb)->isWrite());
+    EXPECT_EQ((*wb)->core, invalidId); // fire-and-forget writeback
+    EXPECT_EQ((*wb)->payloadBytes, 128u);
+}
+
+TEST(CacheBank, BlockedWhenMshrsExhausted)
+{
+    CacheBankParams p = smallParams();
+    p.mshrs = 1;
+    CacheBank bank(p);
+    auto r1 = read(0x0);
+    auto r2 = read(0x1000);
+    EXPECT_EQ(bank.access(r1, 1), AccessOutcome::Miss);
+    EXPECT_EQ(bank.access(r2, 2), AccessOutcome::Blocked);
+    EXPECT_TRUE(r2); // retained by the caller for retry
+    EXPECT_GT(bank.blockedEvents(), 0u);
+}
+
+TEST(CacheBank, BlockedWhenDownstreamFull)
+{
+    CacheBankParams p = smallParams();
+    p.downstreamCap = 1;
+    CacheBank bank(p);
+    auto r1 = read(0x0);
+    bank.access(r1, 1); // occupies the downstream slot
+    auto r2 = read(0x1000);
+    EXPECT_EQ(bank.access(r2, 2), AccessOutcome::Blocked);
+}
+
+TEST(CacheBank, PerfectModeAlwaysHits)
+{
+    CacheBankParams p = smallParams();
+    p.perfect = true;
+    CacheBank bank(p);
+    for (Cycle t = 1; t <= 64; ++t) {
+        auto r = read(t * 0x1000);
+        EXPECT_EQ(bank.access(r, t), AccessOutcome::Hit);
+        while (bank.takeCompleted(t)) {
+        }
+    }
+    EXPECT_EQ(bank.misses(), 0u);
+}
+
+TEST(CacheBank, FetchReplyPayloadIsFullLine)
+{
+    // An L2-style bank hit on an upstream fetch returns the whole line.
+    CacheBankParams p = smallParams();
+    p.policy = WritePolicy::WriteBack;
+    CacheBank bank(p);
+    Cycle now = 0;
+
+    auto warm = read(0x7000);
+    warm->op = MemOp::Read;
+    bank.access(warm, ++now);
+    auto f = bank.takeDownstream();
+    (*f)->isReply = true;
+    bank.fill(std::move(*f), ++now);
+    ++now;
+    bank.takeCompleted(now);
+
+    auto fetch = read(0x7000);
+    ++fetch->fetchDepth; // simulate an upstream L1's fetch
+    const Cycle at = ++now;
+    EXPECT_EQ(bank.access(fetch, at), AccessOutcome::Hit);
+    auto done = bank.takeCompleted(at + p.latency);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ((*done)->payloadBytes, 128u);
+    EXPECT_TRUE((*done)->isFetch()); // still the upstream cache's fetch
+}
+
+TEST(CacheBank, MissRateStat)
+{
+    CacheBank bank(smallParams());
+    Cycle now = 0;
+    installViaFill(bank, 0x0, now);
+    auto h = read(0x0);
+    bank.access(h, ++now);
+    auto m = read(0x8000);
+    bank.access(m, ++now);
+    // installViaFill made 1 miss; then 1 hit and 1 miss.
+    EXPECT_DOUBLE_EQ(bank.missRate(), 2.0 / 3.0);
+}
+
+} // anonymous namespace

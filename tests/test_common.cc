@@ -1,0 +1,126 @@
+/** @file Unit tests for the common substrate (bit utils, RNG, logging). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace
+{
+
+using namespace dcl1;
+
+TEST(BitUtils, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitUtils, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(BitUtils, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    // The paper's home-bit count: ShY needs ceil(log2(Y)) bits.
+    EXPECT_EQ(log2Ceil(40), 6u);
+    EXPECT_EQ(log2Ceil(4), 2u); // Sh40+C10: log2(40/10)
+}
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 32), 0u);
+    EXPECT_EQ(divCeil(1, 32), 1u);
+    EXPECT_EQ(divCeil(32, 32), 1u);
+    EXPECT_EQ(divCeil(33, 32), 2u);
+    EXPECT_EQ(divCeil(128, 32), 4u); // line -> flits
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 40ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 4000; ++i)
+        seen.insert(rng.below(40));
+    EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.01);
+}
+
+TEST(Log, Csprintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(csprintf("%u%%", 50u), "50%");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(before);
+}
+
+} // anonymous namespace

@@ -1,0 +1,55 @@
+/** @file Tests for the experiment runner helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/experiment.hh"
+
+namespace
+{
+
+using namespace dcl1::core;
+
+TEST(Experiment, GeoMean)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geoMean({4.0}), 4.0);
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Experiment, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Experiment, EnvOverrides)
+{
+    setenv("DCL1_CYCLES", "1234", 1);
+    setenv("DCL1_WARMUP", "99", 1);
+    const auto opts = ExperimentOptions::fromEnv();
+    EXPECT_EQ(opts.measureCycles, 1234u);
+    EXPECT_EQ(opts.warmupCycles, 99u);
+    unsetenv("DCL1_CYCLES");
+    unsetenv("DCL1_WARMUP");
+}
+
+TEST(Experiment, EnvDefaults)
+{
+    unsetenv("DCL1_CYCLES");
+    unsetenv("DCL1_WARMUP");
+    const auto opts = ExperimentOptions::fromEnv();
+    EXPECT_GT(opts.measureCycles, 0u);
+}
+
+TEST(Experiment, BadEnvIsFatal)
+{
+    setenv("DCL1_CYCLES", "-5", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "must be positive");
+    unsetenv("DCL1_CYCLES");
+}
+
+} // anonymous namespace

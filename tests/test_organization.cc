@@ -1,0 +1,141 @@
+/** @file Property tests for the DC-L1 organization (home mapping). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/organization.hh"
+#include "mem/address_map.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::core;
+
+DesignConfig
+dcl1Design(std::uint32_t nodes, std::uint32_t clusters)
+{
+    return clusteredDcl1(nodes, clusters);
+}
+
+TEST(Organization, PrivateMapsCoreGroupToOneNode)
+{
+    SystemConfig sys;
+    Organization org(dcl1Design(40, 40), sys); // Pr40
+    // Two cores per node; the home never depends on the address.
+    for (CoreId c = 0; c < 80; ++c) {
+        const NodeId n0 = org.homeNode(c, 0);
+        for (Addr a = 0; a < 64 * 1024; a += 256)
+            EXPECT_EQ(org.homeNode(c, a), n0);
+        EXPECT_EQ(n0, c / 2);
+    }
+}
+
+TEST(Organization, SharedUsesHomeBits)
+{
+    SystemConfig sys;
+    Organization org(dcl1Design(40, 1), sys); // Sh40
+    std::set<NodeId> homes;
+    for (Addr a = 0; a < 40 * 256; a += 256)
+        homes.insert(org.homeNode(0, a));
+    EXPECT_EQ(homes.size(), 40u);
+    // Every core agrees on the home of an address (fully shared).
+    for (CoreId c = 0; c < 80; ++c)
+        EXPECT_EQ(org.homeNode(c, 0x12340), org.homeNode(0, 0x12340));
+}
+
+TEST(Organization, ClusteredHomeStaysInCoreCluster)
+{
+    SystemConfig sys;
+    Organization org(dcl1Design(40, 10), sys); // Sh40+C10
+    for (CoreId c = 0; c < 80; ++c) {
+        for (Addr a = 0; a < 32 * 1024; a += 256) {
+            const NodeId n = org.homeNode(c, a);
+            EXPECT_EQ(org.clusterOfNode(n), org.clusterOfCore(c));
+        }
+    }
+}
+
+TEST(Organization, ClusterGeometry)
+{
+    SystemConfig sys;
+    Organization org(dcl1Design(40, 10), sys);
+    EXPECT_EQ(org.nodesPerCluster(), 4u);
+    EXPECT_EQ(org.coresPerCluster(), 8u);
+    EXPECT_EQ(org.clusterOfCore(0), 0u);
+    EXPECT_EQ(org.clusterOfCore(79), 9u);
+    EXPECT_EQ(org.clusterOfNode(39), 9u);
+}
+
+TEST(Organization, PartitionedNoc2Predicate)
+{
+    SystemConfig sys;
+    EXPECT_TRUE(Organization(dcl1Design(40, 10), sys).partitionedNoc2());
+    EXPECT_TRUE(Organization(dcl1Design(40, 20), sys).partitionedNoc2());
+    // Sh40: 40 homes do not divide 32 slices -> full crossbar.
+    EXPECT_FALSE(Organization(dcl1Design(40, 1), sys).partitionedNoc2());
+    // Pr40: one home per cluster -> trivially full crossbar.
+    EXPECT_FALSE(Organization(dcl1Design(40, 40), sys).partitionedNoc2());
+}
+
+/**
+ * The paper's key co-design property: with M homes per cluster and
+ * M | numSlices, the L2 slice of an address is always in the home's
+ * slice group, so NoC#2 decomposes into M small crossbars.
+ */
+class HomeSliceAlignmentTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(HomeSliceAlignmentTest, SliceMatchesHome)
+{
+    const auto [nodes, clusters] = GetParam();
+    SystemConfig sys;
+    Organization org(dcl1Design(nodes, clusters), sys);
+    mem::AddressMap map(sys.numL2Slices, sys.numChannels, sys.chunkBytes);
+    if (!org.partitionedNoc2())
+        GTEST_SKIP() << "full NoC#2 crossbar";
+    for (Addr a = 0; a < 1024 * 1024; a += 128) {
+        EXPECT_TRUE(org.sliceMatchesHome(a, map.slice(a)))
+            << "addr " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HomeSliceAlignmentTest,
+    ::testing::Values(std::make_pair(40u, 10u), std::make_pair(40u, 20u),
+                      std::make_pair(40u, 5u), std::make_pair(80u, 20u),
+                      std::make_pair(16u, 4u)));
+
+/** Property: each cluster's homes partition the address space. */
+class HomeCoverageTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(HomeCoverageTest, ChunksBalancedOverHomes)
+{
+    const auto [nodes, clusters] = GetParam();
+    SystemConfig sys;
+    Organization org(dcl1Design(nodes, clusters), sys);
+    std::map<NodeId, int> counts;
+    const int chunks = 1000 * int(org.nodesPerCluster());
+    for (int i = 0; i < chunks; ++i)
+        counts[org.homeNode(0, Addr(i) * 256)]++;
+    EXPECT_EQ(counts.size(), org.nodesPerCluster());
+    for (const auto &[node, n] : counts)
+        EXPECT_EQ(n, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HomeCoverageTest,
+    ::testing::Values(std::make_pair(40u, 1u), std::make_pair(40u, 10u),
+                      std::make_pair(40u, 5u), std::make_pair(80u, 80u),
+                      std::make_pair(20u, 4u)));
+
+} // anonymous namespace

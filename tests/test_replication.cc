@@ -1,0 +1,111 @@
+/** @file Unit tests for the replication presence directory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/replication_tracker.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::mem;
+
+TEST(Replication, InstallAndCopies)
+{
+    ReplicationTracker t(80);
+    EXPECT_EQ(t.copies(5), 0u);
+    t.onInstall(0, 5);
+    t.onInstall(1, 5);
+    t.onInstall(79, 5);
+    EXPECT_EQ(t.copies(5), 3u);
+}
+
+TEST(Replication, DuplicateInstallIgnored)
+{
+    ReplicationTracker t(8);
+    t.onInstall(3, 9);
+    t.onInstall(3, 9);
+    EXPECT_EQ(t.copies(9), 1u);
+}
+
+TEST(Replication, EvictRemoves)
+{
+    ReplicationTracker t(8);
+    t.onInstall(0, 1);
+    t.onInstall(1, 1);
+    t.onEvict(0, 1);
+    EXPECT_EQ(t.copies(1), 1u);
+    t.onEvict(1, 1);
+    EXPECT_EQ(t.copies(1), 0u);
+    t.onEvict(1, 1); // idempotent
+    EXPECT_EQ(t.copies(1), 0u);
+}
+
+TEST(Replication, PresentElsewhere)
+{
+    ReplicationTracker t(8);
+    t.onInstall(0, 7);
+    EXPECT_FALSE(t.presentElsewhere(0, 7));
+    EXPECT_TRUE(t.presentElsewhere(1, 7));
+    t.onInstall(1, 7);
+    EXPECT_TRUE(t.presentElsewhere(0, 7));
+}
+
+TEST(Replication, RatioCountsReplicatedMisses)
+{
+    ReplicationTracker t(4);
+    t.onInstall(0, 10);
+    t.onMiss(1, 10); // replicated: cache 0 has it
+    t.onMiss(1, 11); // not replicated
+    EXPECT_EQ(t.totalMisses(), 2u);
+    EXPECT_EQ(t.replicatedMisses(), 1u);
+    EXPECT_DOUBLE_EQ(t.replicationRatio(), 0.5);
+}
+
+TEST(Replication, SelfCopyDoesNotCountAsElsewhere)
+{
+    ReplicationTracker t(4);
+    t.onInstall(2, 3);
+    t.onMiss(2, 3); // only this cache holds it (stale miss)
+    EXPECT_EQ(t.replicatedMisses(), 0u);
+}
+
+TEST(Replication, AvgReplicas)
+{
+    ReplicationTracker t(4);
+    // First install sees 1 copy, second 2, third 3.
+    t.onInstall(0, 1);
+    t.onInstall(1, 1);
+    t.onInstall(2, 1);
+    EXPECT_DOUBLE_EQ(t.avgReplicas(), 2.0);
+}
+
+TEST(Replication, ResetStatsKeepsPresence)
+{
+    ReplicationTracker t(4);
+    t.onInstall(0, 1);
+    t.onMiss(1, 1);
+    t.resetStats();
+    EXPECT_EQ(t.totalMisses(), 0u);
+    // Presence survives the stat reset.
+    EXPECT_EQ(t.copies(1), 1u);
+}
+
+TEST(Replication, HighCacheIds)
+{
+    ReplicationTracker t(128);
+    t.onInstall(127, 42);
+    t.onInstall(64, 42);
+    EXPECT_EQ(t.copies(42), 2u);
+    EXPECT_TRUE(t.presentElsewhere(0, 42));
+    t.onEvict(127, 42);
+    EXPECT_EQ(t.copies(42), 1u);
+}
+
+TEST(Replication, RejectsTooManyCaches)
+{
+    EXPECT_EXIT(ReplicationTracker(129), ::testing::ExitedWithCode(1),
+                "1..128");
+}
+
+} // anonymous namespace

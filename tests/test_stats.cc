@@ -1,0 +1,132 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace
+{
+
+using namespace dcl1::stats;
+
+TEST(Scalar, Basics)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    s.inc();
+    s.inc(4);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 16u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+    s.set(99);
+    EXPECT_EQ(s.value(), 99u);
+}
+
+TEST(Distribution, MeanMinMax)
+{
+    Distribution d(10, 8);
+    d.sample(5);
+    d.sample(15);
+    d.sample(25);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 45u);
+    EXPECT_EQ(d.min(), 5u);
+    EXPECT_EQ(d.max(), 25u);
+    EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+}
+
+TEST(Distribution, Buckets)
+{
+    Distribution d(10, 4);
+    d.sample(0);
+    d.sample(9);
+    d.sample(10);
+    d.sample(39);
+    d.sample(40);  // overflow
+    d.sample(500); // overflow
+    EXPECT_EQ(d.bucket(0), 2u);
+    EXPECT_EQ(d.bucket(1), 1u);
+    EXPECT_EQ(d.bucket(3), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d(4, 4);
+    d.sample(3);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.bucket(0), 0u);
+}
+
+TEST(Distribution, Percentile)
+{
+    Distribution d(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        d.sample(v);
+    EXPECT_NEAR(d.percentile(50), 50.0, 2.0);
+    EXPECT_NEAR(d.percentile(90), 90.0, 2.0);
+    EXPECT_NEAR(d.percentile(0), 0.5, 1.0);
+}
+
+TEST(Distribution, PercentileEmpty)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+}
+
+TEST(StatGroup, RegisterAndDump)
+{
+    StatGroup g("top");
+    Scalar a, b;
+    a.inc(3);
+    b.inc(7);
+    g.addScalar("alpha", &a);
+    g.addScalar("beta", &b);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("top.alpha 3"), std::string::npos);
+    EXPECT_NE(out.find("top.beta 7"), std::string::npos);
+}
+
+TEST(StatGroup, ChildrenAndReset)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar a, b;
+    a.inc(1);
+    b.inc(2);
+    parent.addScalar("a", &a);
+    child.addScalar("b", &b);
+    parent.addChild(&child);
+
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("p.c.b 2"), std::string::npos);
+
+    parent.reset();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, FindScalar)
+{
+    StatGroup g("g");
+    Scalar a;
+    a.inc(5);
+    g.addScalar("a", &a);
+    ASSERT_NE(g.findScalar("a"), nullptr);
+    EXPECT_EQ(g.findScalar("a")->value(), 5u);
+    EXPECT_EQ(g.findScalar("nope"), nullptr);
+}
+
+} // anonymous namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Stress / failure-injection tests: adversarial configurations and
+ * workloads must neither panic, deadlock, nor leak requests — every
+ * run must still make progress and drain cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_system.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::core;
+
+workload::WorkloadParams
+mixedApp()
+{
+    workload::WorkloadParams p;
+    p.name = "stress-mixed";
+    p.warpsPerCore = 12;
+    p.memRatio = 0.5;
+    p.sharedLines = 600;
+    p.sharedFrac = 0.7;
+    p.privateLines = 400;
+    p.coalescedAccesses = 2;
+    p.writeFrac = 0.1;
+    p.atomicFrac = 0.02;
+    p.bypassFrac = 0.02;
+    return p;
+}
+
+void
+expectAlive(const SystemConfig &sys, const DesignConfig &design,
+            const workload::WorkloadParams &app, Cycle cycles = 3000)
+{
+    GpuSystem gpu(sys, design, app);
+    gpu.run(cycles, cycles);
+    const RunMetrics rm = gpu.metrics();
+    EXPECT_GT(rm.instructions, 0u) << design.name;
+    EXPECT_TRUE(gpu.drain(200000)) << design.name;
+}
+
+TEST(Stress, MinimalNodeQueues)
+{
+    SystemConfig sys;
+    sys.nodeQueueCap = 1; // every Q1..Q4 is a single entry
+    expectAlive(sys, clusteredDcl1(40, 10, true), mixedApp());
+}
+
+TEST(Stress, SingleMshrAndTarget)
+{
+    SystemConfig sys;
+    sys.l1Mshrs = 1;
+    sys.l1TargetsPerMshr = 1;
+    sys.l2Mshrs = 1;
+    sys.l2TargetsPerMshr = 1;
+    expectAlive(sys, baselineDesign(), mixedApp());
+    expectAlive(sys, sharedDcl1(40), mixedApp());
+}
+
+TEST(Stress, TinyCaches)
+{
+    SystemConfig sys;
+    sys.l1SizeBytes = 512; // one 4-way set of 128 B lines
+    sys.l2SliceSizeBytes = 1024;
+    expectAlive(sys, baselineDesign(), mixedApp());
+    expectAlive(sys, clusteredDcl1(40, 10), mixedApp());
+}
+
+TEST(Stress, TinyDramQueues)
+{
+    SystemConfig sys;
+    sys.dram.queueCap = 1;
+    sys.dram.numBanks = 1;
+    expectAlive(sys, baselineDesign(), mixedApp());
+}
+
+TEST(Stress, ZeroLatencyCaches)
+{
+    SystemConfig sys;
+    sys.l1Latency = 0;
+    sys.l2Latency = 0;
+    expectAlive(sys, withL1Latency(clusteredDcl1(40, 10, true), 0),
+                mixedApp());
+}
+
+TEST(Stress, WriteOnlyWorkload)
+{
+    workload::WorkloadParams p = mixedApp();
+    p.writeFrac = 1.0;
+    p.atomicFrac = 0.0;
+    expectAlive(SystemConfig(), baselineDesign(), p);
+    expectAlive(SystemConfig(), sharedDcl1(40), p);
+}
+
+TEST(Stress, AtomicHeavyWorkload)
+{
+    workload::WorkloadParams p = mixedApp();
+    p.atomicFrac = 0.5;
+    expectAlive(SystemConfig(), clusteredDcl1(40, 10), p);
+}
+
+TEST(Stress, BypassHeavyWorkload)
+{
+    workload::WorkloadParams p = mixedApp();
+    p.bypassFrac = 0.4;
+    p.memRatio = 0.2;
+    expectAlive(SystemConfig(), clusteredDcl1(40, 10, true), p);
+}
+
+TEST(Stress, SingleWarpPerCore)
+{
+    workload::WorkloadParams p = mixedApp();
+    p.warpsPerCore = 1;
+    expectAlive(SystemConfig(), sharedDcl1(40), p);
+}
+
+TEST(Stress, MaximallyDivergentAccesses)
+{
+    workload::WorkloadParams p = mixedApp();
+    p.coalescedAccesses = 8; // worst-case coalescer output
+    p.memRatio = 0.8;
+    expectAlive(SystemConfig(), clusteredDcl1(40, 10), p);
+}
+
+TEST(Stress, OneLineFootprint)
+{
+    // Every core hammers the same single line: maximal merging and
+    // maximal camping at one home node.
+    workload::WorkloadParams p = mixedApp();
+    p.sharedLines = 1;
+    p.sharedFrac = 1.0;
+    p.writeFrac = 0.2;
+    expectAlive(SystemConfig(), sharedDcl1(40), p);
+    expectAlive(SystemConfig(), baselineDesign(), p);
+}
+
+TEST(Stress, ExtremeAggregation)
+{
+    // Pr10 pushes eight cores through each node; Sh80 runs with one
+    // core per node but all-to-all homes.
+    expectAlive(SystemConfig(), privateDcl1(10), mixedApp());
+    expectAlive(SystemConfig(), sharedDcl1(80), mixedApp());
+}
+
+TEST(Stress, SmallMachine)
+{
+    SystemConfig sys = SystemConfig::scaled(8, 8, 4);
+    expectAlive(sys, clusteredDcl1(4, 2), mixedApp());
+}
+
+TEST(Stress, WindowPatternSliding)
+{
+    workload::WorkloadParams p = mixedApp();
+    p.sharedPattern = workload::Pattern::Window;
+    p.windowLines = 8;
+    p.windowPeriodCycles = 200;
+    expectAlive(SystemConfig(), sharedDcl1(40), p);
+}
+
+} // anonymous namespace

@@ -1,0 +1,183 @@
+/** @file Unit and property tests for the set-associative tag array. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/tag_array.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::mem;
+
+TEST(TagArray, InsertProbe)
+{
+    TagArray tags(16, 4);
+    EXPECT_FALSE(tags.probe(100));
+    Victim v = tags.insert(100);
+    EXPECT_FALSE(v.valid);
+    EXPECT_TRUE(tags.probe(100));
+    EXPECT_TRUE(tags.contains(100));
+    EXPECT_EQ(tags.occupancy(), 1u);
+}
+
+TEST(TagArray, Invalidate)
+{
+    TagArray tags(8, 2);
+    tags.insert(5);
+    EXPECT_TRUE(tags.invalidate(5));
+    EXPECT_FALSE(tags.contains(5));
+    EXPECT_FALSE(tags.invalidate(5));
+    EXPECT_EQ(tags.occupancy(), 0u);
+}
+
+TEST(TagArray, LruEviction)
+{
+    // Single set, 2 ways: the least recently used line is evicted.
+    TagArray tags(1, 2);
+    tags.insert(1);
+    tags.insert(2);
+    EXPECT_TRUE(tags.probe(1)); // 1 is now MRU
+    Victim v = tags.insert(3);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.line, 2u);
+    EXPECT_TRUE(tags.contains(1));
+    EXPECT_TRUE(tags.contains(3));
+    EXPECT_FALSE(tags.contains(2));
+}
+
+TEST(TagArray, ContainsDoesNotTouchLru)
+{
+    TagArray tags(1, 2);
+    tags.insert(1);
+    tags.insert(2);
+    EXPECT_TRUE(tags.contains(1)); // no LRU update: 1 stays LRU
+    Victim v = tags.insert(3);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.line, 1u);
+}
+
+TEST(TagArray, DirtyTracking)
+{
+    TagArray tags(1, 1);
+    tags.insert(7, /*dirty=*/false);
+    EXPECT_TRUE(tags.markDirty(7));
+    Victim v = tags.insert(8);
+    ASSERT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.line, 7u);
+    EXPECT_FALSE(tags.markDirty(7));
+}
+
+TEST(TagArray, Flush)
+{
+    TagArray tags(4, 4);
+    for (LineAddr l = 0; l < 10; ++l)
+        tags.insert(l);
+    tags.flush();
+    EXPECT_EQ(tags.occupancy(), 0u);
+    for (LineAddr l = 0; l < 10; ++l)
+        EXPECT_FALSE(tags.contains(l));
+}
+
+TEST(TagArray, InsertDuplicateDies)
+{
+    TagArray tags(4, 2);
+    tags.insert(3);
+    EXPECT_DEATH(tags.insert(3), "already-resident");
+}
+
+TEST(TagArray, FifoIgnoresTouches)
+{
+    TagArray tags(1, 2, ReplPolicy::Fifo);
+    tags.insert(1);
+    tags.insert(2);
+    EXPECT_TRUE(tags.probe(1)); // touch does NOT protect under FIFO
+    Victim v = tags.insert(3);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.line, 1u); // oldest insertion evicted
+}
+
+TEST(TagArray, RandomStaysWithinSet)
+{
+    TagArray tags(1, 4, ReplPolicy::Random);
+    for (LineAddr l = 0; l < 4; ++l)
+        tags.insert(l);
+    // Insertions always evict *some* resident line of the set.
+    for (LineAddr l = 4; l < 40; ++l) {
+        Victim v = tags.insert(l);
+        ASSERT_TRUE(v.valid);
+        EXPECT_TRUE(v.line < l);
+        EXPECT_EQ(tags.occupancy(), 4u);
+    }
+}
+
+TEST(TagArray, RandomEventuallyEvictsDifferentWays)
+{
+    TagArray tags(1, 4, ReplPolicy::Random);
+    std::set<LineAddr> victims;
+    for (LineAddr l = 0; l < 4; ++l)
+        tags.insert(l);
+    for (LineAddr l = 4; l < 200; ++l) {
+        Victim v = tags.insert(l);
+        victims.insert(v.line);
+    }
+    EXPECT_GT(victims.size(), 20u); // not stuck on one way
+}
+
+/**
+ * Property: the hashed set index must spread address-sliced line
+ * streams across all sets. This is the reason the index is hashed:
+ * home-bit interleaving fixes low line-address bits.
+ */
+class TagSpreadTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TagSpreadTest, SlicedStreamTouchesAllSets)
+{
+    const std::uint32_t stride = GetParam();
+    TagArray tags(32, 4);
+    std::set<std::uint32_t> sets;
+    for (LineAddr l = 0; l < 512; ++l)
+        sets.insert(tags.setIndex(l * stride));
+    // With a good hash, far more than 32/stride sets are used.
+    EXPECT_EQ(sets.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, TagSpreadTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 40u, 32u));
+
+/** Property: occupancy never exceeds capacity; eviction keeps bounds. */
+class TagCapacityTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(TagCapacityTest, OccupancyBounded)
+{
+    const auto [num_sets, assoc] = GetParam();
+    TagArray tags(num_sets, assoc);
+    Rng rng(num_sets * 131 + assoc);
+    for (int i = 0; i < 5000; ++i) {
+        LineAddr l = rng.below(10000);
+        if (!tags.contains(l))
+            tags.insert(l);
+    }
+    EXPECT_LE(tags.occupancy(), std::uint64_t(num_sets) * assoc);
+    // A full-working-set stream should nearly fill the array.
+    EXPECT_GE(tags.occupancy(), std::uint64_t(num_sets) * assoc * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TagCapacityTest,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(8u, 2u),
+                      std::make_pair(32u, 4u), std::make_pair(64u, 8u),
+                      std::make_pair(33u, 3u)));
+
+} // anonymous namespace

@@ -1,0 +1,284 @@
+/** @file Tests for the synthetic workload generator and app catalog. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/app_catalog.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace dcl1;
+using namespace dcl1::workload;
+
+WorkloadParams
+simpleParams()
+{
+    WorkloadParams p;
+    p.name = "test";
+    p.warpsPerCore = 4;
+    p.memRatio = 0.5;
+    p.bypassFrac = 0.0;
+    p.sharedLines = 100;
+    p.sharedFrac = 0.5;
+    p.privateLines = 200;
+    return p;
+}
+
+TEST(Workload, Deterministic)
+{
+    SyntheticSource a(simpleParams(), 4, 128, 7);
+    SyntheticSource b(simpleParams(), 4, 128, 7);
+    for (Cycle t = 0; t < 500; ++t) {
+        WarpInstr ia, ib;
+        a.nextInstr(t % 4, t % 3, t, ia);
+        b.nextInstr(t % 4, t % 3, t, ib);
+        ASSERT_EQ(ia.isMem, ib.isMem);
+        ASSERT_EQ(ia.numAccesses, ib.numAccesses);
+        for (int k = 0; k < ia.numAccesses; ++k)
+            ASSERT_EQ(ia.accesses[k].addr, ib.accesses[k].addr);
+    }
+}
+
+TEST(Workload, SeedChangesStream)
+{
+    SyntheticSource a(simpleParams(), 2, 128, 1);
+    SyntheticSource b(simpleParams(), 2, 128, 2);
+    int diff = 0;
+    for (Cycle t = 0; t < 200; ++t) {
+        WarpInstr ia, ib;
+        a.nextInstr(0, 0, t, ia);
+        b.nextInstr(0, 0, t, ib);
+        if (ia.isMem != ib.isMem)
+            ++diff;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(Workload, MemRatioApproximate)
+{
+    WorkloadParams p = simpleParams();
+    p.memRatio = 0.3;
+    SyntheticSource src(p, 1, 128, 3);
+    int mem = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        WarpInstr instr;
+        src.nextInstr(0, 0, i, instr);
+        mem += instr.isMem;
+    }
+    EXPECT_NEAR(double(mem) / n, 0.3, 0.02);
+}
+
+TEST(Workload, SharedAddressesInRange)
+{
+    WorkloadParams p = simpleParams();
+    p.sharedFrac = 1.0;
+    p.sharedLines = 64;
+    SyntheticSource src(p, 4, 128, 5);
+    for (int i = 0; i < 5000; ++i) {
+        WarpInstr instr;
+        src.nextInstr(i % 4, 0, i, instr);
+        for (int k = 0; k < instr.numAccesses; ++k)
+            EXPECT_LT(instr.accesses[k].addr, 64u * 128u);
+    }
+}
+
+TEST(Workload, PrivateSegmentsDisjointAcrossCores)
+{
+    WorkloadParams p = simpleParams();
+    p.sharedFrac = 0.0;
+    SyntheticSource src(p, 8, 128, 5);
+    std::map<CoreId, std::set<Addr>> per_core;
+    for (int i = 0; i < 4000; ++i) {
+        const CoreId c = i % 8;
+        WarpInstr instr;
+        src.nextInstr(c, i % 4, i, instr);
+        for (int k = 0; k < instr.numAccesses; ++k)
+            per_core[c].insert(instr.accesses[k].addr / 128);
+    }
+    for (auto &[c1, s1] : per_core) {
+        for (auto &[c2, s2] : per_core) {
+            if (c1 >= c2)
+                continue;
+            for (Addr a : s1)
+                EXPECT_EQ(s2.count(a), 0u);
+        }
+    }
+}
+
+TEST(Workload, HotColdConcentrates)
+{
+    WorkloadParams p = simpleParams();
+    p.sharedFrac = 1.0;
+    p.sharedPattern = Pattern::HotCold;
+    p.sharedLines = 1000;
+    p.hotLines = 4;
+    p.hotProb = 0.9;
+    SyntheticSource src(p, 1, 128, 5);
+    int hot = 0, total = 0;
+    for (int i = 0; i < 10000; ++i) {
+        WarpInstr instr;
+        src.nextInstr(0, 0, i, instr);
+        for (int k = 0; k < instr.numAccesses; ++k) {
+            ++total;
+            hot += instr.accesses[k].addr / 128 < 4;
+        }
+    }
+    EXPECT_NEAR(double(hot) / total, 0.9, 0.03);
+}
+
+TEST(Workload, WindowSlides)
+{
+    WorkloadParams p = simpleParams();
+    p.sharedFrac = 1.0;
+    p.sharedPattern = Pattern::Window;
+    p.sharedLines = 1000;
+    p.windowLines = 10;
+    p.windowPeriodCycles = 100;
+    SyntheticSource src(p, 1, 128, 5);
+
+    auto lines_at = [&](Cycle now) {
+        std::set<LineAddr> lines;
+        for (int i = 0; i < 300; ++i) {
+            WarpInstr instr;
+            src.nextInstr(0, 0, now, instr);
+            for (int k = 0; k < instr.numAccesses; ++k)
+                lines.insert(instr.accesses[k].addr / 128);
+        }
+        return lines;
+    };
+    auto w0 = lines_at(0);
+    auto w5 = lines_at(550);
+    EXPECT_LE(w0.size(), 10u);
+    EXPECT_LE(w5.size(), 10u);
+    for (LineAddr l : w5)
+        EXPECT_EQ(w0.count(l), 0u); // the window moved
+}
+
+TEST(Workload, CtaLocalityConfinesCores)
+{
+    WorkloadParams p = simpleParams();
+    p.sharedFrac = 1.0;
+    p.sharedLines = 1000;
+    p.ctaLocality = 0.8;
+    SyntheticSource src(p, 10, 128, 5);
+    // Core 0 and core 9 should draw from mostly disjoint subranges.
+    std::set<LineAddr> c0, c9;
+    for (int i = 0; i < 3000; ++i) {
+        WarpInstr instr;
+        src.nextInstr(0, 0, i, instr);
+        if (instr.isMem)
+            c0.insert(instr.accesses[0].addr / 128);
+        src.nextInstr(9, 0, i, instr);
+        if (instr.isMem)
+            c9.insert(instr.accesses[0].addr / 128);
+    }
+    int overlap = 0;
+    for (LineAddr l : c0)
+        overlap += c9.count(l);
+    EXPECT_LT(double(overlap) / double(c0.size()), 0.1);
+}
+
+TEST(Workload, HotCoreFactorScalesFootprint)
+{
+    WorkloadParams p = simpleParams();
+    p.hotCoreFactor = 4.0;
+    p.privateLines = 100;
+    SyntheticSource src(p, 8, 128, 5);
+    EXPECT_EQ(src.privateLinesOf(0), 400u); // core 0 is hot (id % 4 == 0)
+    EXPECT_EQ(src.privateLinesOf(1), 100u);
+    EXPECT_EQ(src.privateLinesOf(4), 400u);
+}
+
+TEST(Workload, WriteFraction)
+{
+    WorkloadParams p = simpleParams();
+    p.writeFrac = 0.2;
+    p.memRatio = 1.0;
+    SyntheticSource src(p, 1, 128, 5);
+    int writes = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        WarpInstr instr;
+        src.nextInstr(0, 0, i, instr);
+        for (int k = 0; k < instr.numAccesses; ++k) {
+            ++total;
+            writes += instr.accesses[k].op == mem::MemOp::Write;
+        }
+    }
+    EXPECT_NEAR(double(writes) / total, 0.2, 0.02);
+}
+
+TEST(Workload, BypassGeneratesFullLineNonL1)
+{
+    WorkloadParams p = simpleParams();
+    p.bypassFrac = 1.0;
+    p.memRatio = 0.0;
+    SyntheticSource src(p, 1, 128, 5);
+    WarpInstr instr;
+    src.nextInstr(0, 0, 0, instr);
+    ASSERT_TRUE(instr.isMem);
+    EXPECT_EQ(instr.accesses[0].op, mem::MemOp::Bypass);
+    EXPECT_EQ(instr.accesses[0].bytes, 128u);
+}
+
+// ---------------- catalog ----------------
+
+TEST(AppCatalog, Has28Apps)
+{
+    EXPECT_EQ(appCatalog().size(), 28u);
+}
+
+TEST(AppCatalog, ClassificationCounts)
+{
+    EXPECT_EQ(replicationSensitiveApps().size(), 12u);
+    EXPECT_EQ(replicationInsensitiveApps().size(), 16u);
+    EXPECT_EQ(poorPerformingApps().size(), 5u);
+}
+
+TEST(AppCatalog, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &app : appCatalog())
+        names.insert(app.params.name);
+    EXPECT_EQ(names.size(), 28u);
+}
+
+TEST(AppCatalog, LookupByName)
+{
+    const AppInfo &app = appByName("T-AlexNet");
+    EXPECT_TRUE(app.replicationSensitive);
+    EXPECT_EQ(app.params.suite, "T");
+    EXPECT_EXIT(appByName("no-such-app"), ::testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(AppCatalog, PoorPerformersAreInsensitive)
+{
+    for (const auto &app : poorPerformingApps())
+        EXPECT_FALSE(app.replicationSensitive) << app.params.name;
+}
+
+TEST(AppCatalog, PaperNamedAppsPresent)
+{
+    for (const char *name :
+         {"T-AlexNet", "T-ResNet", "T-SqueezeNet", "C-BFS", "C-BLK",
+          "C-RAY", "C-NN", "R-LUD", "R-SC", "S-Reduction", "P-2DCONV",
+          "P-3DCONV", "P-2MM", "P-3MM", "P-GEMM", "P-SYRK", "F-2MM"}) {
+        EXPECT_NO_FATAL_FAILURE(appByName(name)) << name;
+    }
+}
+
+TEST(AppCatalog, SuitesCovered)
+{
+    std::set<std::string> suites;
+    for (const auto &app : appCatalog())
+        suites.insert(app.params.suite);
+    for (const char *s : {"C", "R", "S", "P", "T"})
+        EXPECT_EQ(suites.count(s), 1u) << s;
+}
+
+} // anonymous namespace

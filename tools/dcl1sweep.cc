@@ -1,0 +1,103 @@
+/**
+ * @file
+ * dcl1sweep — grid runner emitting CSV for external analysis/plotting.
+ *
+ *   dcl1sweep --designs=Baseline,Pr40,Sh40+C10+Boost \
+ *             --apps=T-AlexNet,C-BFS --out=results.csv
+ *
+ * Omitting --apps sweeps the whole 28-app catalog; omitting --designs
+ * sweeps the paper's main five. Columns: design, app, ipc, speedup,
+ * l1_missrate, repl_ratio, avg_replicas, read_rtt, noc1_flits,
+ * noc2_flits, dram_reads.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/experiment.hh"
+#include "workload/app_catalog.hh"
+
+using namespace dcl1;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> design_names = {
+        "Baseline", "Pr40", "Sh40", "Sh40+C10", "Sh40+C10+Boost"};
+    std::vector<std::string> app_names;
+    std::string out_path = "-";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--designs=", 0) == 0)
+            design_names = splitCsv(a.substr(10));
+        else if (a.rfind("--apps=", 0) == 0)
+            app_names = splitCsv(a.substr(7));
+        else if (a.rfind("--out=", 0) == 0)
+            out_path = a.substr(6);
+        else
+            fatal("unknown option '%s'", a.c_str());
+    }
+    if (app_names.empty())
+        for (const auto &app : workload::appCatalog())
+            app_names.push_back(app.params.name);
+
+    std::ofstream file;
+    std::ostream *os;
+    if (out_path == "-") {
+        os = &std::cout;
+    } else {
+        file.open(out_path);
+        if (!file)
+            fatal("cannot open '%s'", out_path.c_str());
+        os = &file;
+    }
+
+    core::SystemConfig sys;
+    const auto opts = core::ExperimentOptions::fromEnv();
+
+    *os << "design,app,ipc,speedup,l1_missrate,repl_ratio,avg_replicas,"
+           "read_rtt,noc1_flits,noc2_flits,dram_reads\n";
+    for (const auto &app_name : app_names) {
+        const auto &app = workload::appByName(app_name);
+        const double base_ipc =
+            core::runOnce(sys, core::baselineDesign(), app.params, opts)
+                .ipc;
+        for (const auto &dn : design_names) {
+            const auto design = core::designByName(dn);
+            std::fprintf(stderr, "[sweep] %-18s %s\n", dn.c_str(),
+                         app_name.c_str());
+            const auto rm =
+                core::runOnce(sys, design, app.params, opts);
+            *os << dn << ',' << app_name << ',' << rm.ipc << ','
+                << (base_ipc > 0 ? rm.ipc / base_ipc : 0.0) << ','
+                << rm.l1MissRate << ',' << rm.replicationRatio << ','
+                << rm.avgReplicas << ',' << rm.avgReadLatency << ','
+                << rm.noc1Flits << ',' << rm.noc2Flits << ','
+                << rm.dramReads << '\n';
+        }
+    }
+    return 0;
+}
