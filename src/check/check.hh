@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Compile-out-able invariant checking.
+ *
+ * The simulator's results are only as trustworthy as its bookkeeping:
+ * a single leaked request or double-counted flit silently skews IPC
+ * and miss-rate numbers (the Accel-Sim correlation studies show this
+ * class of bug dominating simulator error). This header provides the
+ * zero-cost-when-disabled assertion layer used by every component.
+ *
+ * Build control: the CMake option DCL1_CHECK defines
+ * DCL1_CHECK_ENABLED to 1 (checks compiled in; the default) or 0
+ * (Release performance builds; every macro below expands to nothing).
+ */
+
+#ifndef DCL1_CHECK_CHECK_HH
+#define DCL1_CHECK_CHECK_HH
+
+#include "common/log.hh"
+
+#ifndef DCL1_CHECK_ENABLED
+#define DCL1_CHECK_ENABLED 1
+#endif
+
+#if DCL1_CHECK_ENABLED
+
+/** Invariant assertion: panics (simulator bug) when @p cond is false. */
+#define DCL1_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::dcl1::panic(__VA_ARGS__);                                     \
+    } while (0)
+
+/** Compile the statement(s) only in checking builds. */
+#define DCL1_CHECK_ONLY(...) __VA_ARGS__
+
+#else
+
+#define DCL1_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+    } while (0)
+
+#define DCL1_CHECK_ONLY(...)
+
+#endif // DCL1_CHECK_ENABLED
+
+namespace dcl1::check
+{
+
+/** True when the checking layer is compiled in. */
+inline constexpr bool checksCompiledIn = DCL1_CHECK_ENABLED != 0;
+
+} // namespace dcl1::check
+
+#endif // DCL1_CHECK_CHECK_HH

@@ -1,0 +1,56 @@
+#include "check/determinism.hh"
+
+#include <sstream>
+
+namespace dcl1::check
+{
+
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+statDigest(core::GpuSystem &gpu)
+{
+    std::ostringstream os;
+    gpu.dumpStats(os);
+
+    const core::RunMetrics rm = gpu.metrics();
+    os << rm.cycles << ' ' << rm.instructions << ' ' << rm.ipc << ' '
+       << rm.l1Accesses << ' ' << rm.l1Misses << ' ' << rm.l1MissRate
+       << ' ' << rm.replicationRatio << ' ' << rm.avgReplicas << ' '
+       << rm.avgReadLatency << ' ' << rm.noc1Flits << ' '
+       << rm.noc2Flits << ' ' << rm.l2Accesses << ' ' << rm.l2Misses
+       << ' ' << rm.dramReads << ' ' << rm.dramWrites;
+    return fnv1a(os.str());
+}
+
+DeterminismResult
+runTwiceAndCompare(const core::SystemConfig &sys,
+                   const core::DesignConfig &design,
+                   const workload::WorkloadParams &app,
+                   Cycle measure_cycles, Cycle warmup_cycles)
+{
+    DeterminismResult result;
+    {
+        core::GpuSystem gpu(sys, design, app);
+        gpu.run(measure_cycles, warmup_cycles);
+        result.digestA = statDigest(gpu);
+    }
+    {
+        core::GpuSystem gpu(sys, design, app);
+        gpu.run(measure_cycles, warmup_cycles);
+        result.digestB = statDigest(gpu);
+    }
+    result.ok = result.digestA == result.digestB;
+    return result;
+}
+
+} // namespace dcl1::check

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Same-seed determinism harness.
+ *
+ * The simulator must be a pure function of (platform, design, workload,
+ * seed): any dependence on unordered-container iteration order, address
+ * layout, or uninitialized state eventually poisons benchmark
+ * trajectories with run-to-run noise that looks like a real effect.
+ * This harness runs the same configuration twice and compares a digest
+ * of the complete statistics dump plus the headline metrics.
+ */
+
+#ifndef DCL1_CHECK_DETERMINISM_HH
+#define DCL1_CHECK_DETERMINISM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/design.hh"
+#include "core/gpu_system.hh"
+#include "core/system_config.hh"
+#include "workload/workload.hh"
+
+namespace dcl1::check
+{
+
+/** FNV-1a over a byte string. */
+std::uint64_t fnv1a(const std::string &bytes);
+
+/**
+ * Digest of a simulated system's observable state: the full component
+ * statistics dump and the extracted RunMetrics. Two runs of the same
+ * configuration must produce identical digests.
+ */
+std::uint64_t statDigest(core::GpuSystem &gpu);
+
+/** Result of a determinism check. */
+struct DeterminismResult
+{
+    bool ok = false;
+    std::uint64_t digestA = 0;
+    std::uint64_t digestB = 0;
+};
+
+/**
+ * Build and run (sys, design, app) twice with identical cycle budgets
+ * and compare digests.
+ */
+DeterminismResult
+runTwiceAndCompare(const core::SystemConfig &sys,
+                   const core::DesignConfig &design,
+                   const workload::WorkloadParams &app,
+                   Cycle measure_cycles, Cycle warmup_cycles);
+
+} // namespace dcl1::check
+
+#endif // DCL1_CHECK_DETERMINISM_HH

@@ -1,5 +1,7 @@
 #include "core/dcl1_node.hh"
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::core
@@ -25,6 +27,8 @@ DcL1Node::pushFromCore(mem::MemRequestPtr req)
 {
     if (!q1_.canPush())
         panic("node %u: Q1 overflow", nodeId_);
+    DCL1_CHECK_ONLY(
+        check::ledger().onTransition(*req, check::ReqStage::AtCache));
     q1_.push(std::move(req));
 }
 
@@ -33,12 +37,19 @@ DcL1Node::pushFromMem(mem::MemRequestPtr reply)
 {
     if (!q4_.canPush())
         panic("node %u: Q4 overflow", nodeId_);
+    DCL1_CHECK_ONLY(
+        check::ledger().onTransition(*reply, check::ReqStage::AtCache));
     q4_.push(std::move(reply));
 }
 
 void
 DcL1Node::tick(Cycle now)
 {
+    DCL1_ASSERT(now >= lastTick_,
+                "node %u: clock ran backwards (%llu after %llu)",
+                nodeId_, static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(lastTick_));
+    DCL1_CHECK_ONLY(lastTick_ = now);
     // Q4: replies from L2/memory. Non-L1 replies bypass to Q2; L1
     // replies (read fills, write ACKs) go through the cache, which
     // fans completed targets into its completion queue.

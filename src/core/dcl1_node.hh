@@ -91,6 +91,7 @@ class DcL1Node
     stats::StatGroup statGroup_;
     stats::Scalar bypasses_;
     stats::Scalar q1Stalls_;
+    Cycle lastTick_ = 0; ///< monotonic-clock check (DCL1_CHECK)
 };
 
 } // namespace dcl1::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "check/check.hh"
 #include "common/log.hh"
 
 namespace dcl1::core
@@ -33,6 +34,9 @@ runOnce(const SystemConfig &sys, const DesignConfig &design,
 {
     GpuSystem gpu(sys, design, app);
     gpu.run(opts.measureCycles, opts.warmupCycles);
+    // Full sweep at the end of the measured interval; run() only audits
+    // on a power-of-two cadence.
+    DCL1_CHECK_ONLY(gpu.checkInvariants("runOnce"));
     return gpu.metrics();
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 #include "noc/packet.hh"
 
@@ -529,11 +531,26 @@ void
 GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles)
 {
     mem::gFetchLeakCheck = true;
-    for (Cycle i = 0; i < warmup_cycles; ++i)
+    // Inside the cycle loop every request destruction must follow a
+    // retirement; partially simulated systems torn down outside run()
+    // legitimately destroy in-flight requests.
+    DCL1_CHECK_ONLY(check::ledger().setStrictDestroy(true));
+    for (Cycle i = 0; i < warmup_cycles; ++i) {
         tickOnce();
+        DCL1_CHECK_ONLY({
+            if ((i & 4095) == 4095)
+                checkInvariants("warmup");
+        });
+    }
     resetStats();
-    for (Cycle i = 0; i < measure_cycles; ++i)
+    for (Cycle i = 0; i < measure_cycles; ++i) {
         tickOnce();
+        DCL1_CHECK_ONLY({
+            if ((i & 4095) == 4095)
+                checkInvariants("measure");
+        });
+    }
+    DCL1_CHECK_ONLY(check::ledger().setStrictDestroy(false));
     mem::gFetchLeakCheck = false;
 }
 
@@ -624,7 +641,73 @@ GpuSystem::drain(Cycle max_cycles)
     for (auto &core : cores_)
         core->setIssueEnabled(true);
     draining_ = false;
-    return !busy();
+    const bool drained = !busy();
+    if (drained) {
+        // With the machine empty, every registered request must have
+        // retired, and directory/tag state must agree exactly.
+        checkInvariants("drain");
+        DCL1_CHECK_ONLY(check::ledger().audit("drain"));
+    }
+    return drained;
+}
+
+void
+GpuSystem::checkInvariants(const char *where)
+{
+#if DCL1_CHECK_ENABLED
+    // Tag arrays vs. the replication directory: every valid line in a
+    // tracked cache must be recorded as held by that cache, and the
+    // directory must hold no phantom presence (total copy count equals
+    // total tag occupancy).
+    std::uint64_t occupancy = 0;
+    auto check_bank = [&](const mem::CacheBank &bank) {
+        if (bank.params().perfect)
+            return;
+        bank.tags().forEachValidLine([&](LineAddr line) {
+            ++occupancy;
+            if (!tracker_->holds(bank.cacheId(), line))
+                panic("checkInvariants(%s): cache %u holds line %llx "
+                      "missing from the replication directory",
+                      where, bank.cacheId(),
+                      static_cast<unsigned long long>(line));
+        });
+    };
+    if (design_.topology == Topology::DcL1) {
+        for (const auto &node : nodes_)
+            check_bank(node->cache());
+    } else {
+        for (const auto &core : cores_)
+            if (core->l1())
+                check_bank(*core->l1());
+    }
+    if (tracker_->totalPresence() != occupancy)
+        panic("checkInvariants(%s): replication directory records %llu "
+              "copies but tag arrays hold %llu lines",
+              where,
+              static_cast<unsigned long long>(tracker_->totalPresence()),
+              static_cast<unsigned long long>(occupancy));
+
+    // NoC internal bookkeeping (crossbars also self-audit on their own
+    // NoC-cycle cadence; this forces a full sweep now).
+    if (mainReq_)
+        mainReq_->checkInvariants();
+    if (mainReply_)
+        mainReply_->checkInvariants();
+    for (const auto &x : noc1Req_)
+        x->checkInvariants();
+    for (const auto &x : noc1Reply_)
+        x->checkInvariants();
+    for (const auto &x : noc2Req_)
+        x->checkInvariants();
+    for (const auto &x : noc2Reply_)
+        x->checkInvariants();
+    if (cdxReq_)
+        cdxReq_->checkInvariants();
+    if (cdxReply_)
+        cdxReply_->checkInvariants();
+#else
+    (void)where;
+#endif // DCL1_CHECK_ENABLED
 }
 
 void

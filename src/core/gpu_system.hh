@@ -113,6 +113,15 @@ class GpuSystem
     /** Dump every component's statistics as "path value" lines. */
     void dumpStats(std::ostream &os);
 
+    /**
+     * System-wide invariant audit (DCL1_CHECK builds; no-op otherwise):
+     * tag-array vs. replication-directory consistency and the internal
+     * bookkeeping of every crossbar. panic()s on violation. run() calls
+     * this periodically; drain() calls it (plus a request-ledger leak
+     * audit) after a successful drain.
+     */
+    void checkInvariants(const char *where);
+
     /** Extract metrics for the interval since the last resetStats(). */
     RunMetrics metrics();
 

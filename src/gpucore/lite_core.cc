@@ -1,5 +1,7 @@
 #include "gpucore/lite_core.hh"
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::gpucore
@@ -113,6 +115,10 @@ LiteCore::issue(Cycle now)
             const auto &a = instr.accesses[i];
             auto req = mem::makeRequest(a.op, a.addr, a.bytes,
                                         params_.id, w, now);
+            // Register with the lifecycle ledger at the injection
+            // point: everything the machine does with this request
+            // from here on is audited.
+            DCL1_CHECK_ONLY(check::ledger().onCreate(*req, now));
             lsu_.push(std::move(req));
         }
         outstandingWrites_ += writes;
@@ -163,6 +169,7 @@ LiteCore::pumpL1(Cycle now)
     // Completions: hits, filled misses, write ACKs.
     while (auto done = l1_->takeCompleted(now)) {
         mem::MemRequestPtr req = std::move(*done);
+        DCL1_CHECK_ONLY(check::ledger().onRetire(*req));
         if (req->isWrite()) {
             if (outstandingWrites_ == 0)
                 panic("core %u: write ACK underflow", params_.id);
@@ -209,7 +216,14 @@ LiteCore::wakeWarp(WarpId warp)
 std::optional<mem::MemRequestPtr>
 LiteCore::takeOutbound()
 {
-    return outbound_.tryPop();
+    auto req = outbound_.tryPop();
+    // The caller is the interconnect: from here the request is on the
+    // wire (the crossbar's inject() self-transitions InNoc -> InNoc).
+    DCL1_CHECK_ONLY({
+        if (req)
+            check::ledger().onTransition(**req, check::ReqStage::InNoc);
+    });
+    return req;
 }
 
 void
@@ -224,6 +238,7 @@ LiteCore::deliverReply(mem::MemRequestPtr reply, Cycle now)
         return;
     }
 
+    DCL1_CHECK_ONLY(check::ledger().onRetire(*reply));
     if (reply->isWrite()) {
         if (outstandingWrites_ == 0)
             panic("core %u: write ACK underflow", params_.id);

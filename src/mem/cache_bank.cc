@@ -1,5 +1,7 @@
 #include "mem/cache_bank.hh"
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::mem
@@ -70,6 +72,10 @@ CacheBank::installLine(LineAddr line, bool dirty)
             wb->payloadBytes = params_.lineBytes;
             wb->core = invalidId;
             wb->fetchDepth = 0;
+            // Writebacks are born inside this cache and audited like
+            // any other request until DRAM absorbs them.
+            DCL1_CHECK_ONLY(check::ledger().onCreate(
+                *wb, 0, check::ReqStage::AtCache));
             pendingWritebacks_.push_back(std::move(wb));
             ++writebacks_;
         }
@@ -81,6 +87,11 @@ CacheBank::access(MemRequestPtr &req, Cycle now)
 {
     if (!canAccept(now))
         panic("cache %s: access without canAccept", params_.name.c_str());
+    DCL1_ASSERT(lastPortCycle_ == cycleNever || now > lastPortCycle_,
+                "cache %s: port clock ran backwards (%llu after %llu)",
+                params_.name.c_str(),
+                static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(lastPortCycle_));
 
     const LineAddr line = req->line(params_.lineBytes);
     const bool write = req->isWrite();
@@ -109,6 +120,8 @@ CacheBank::access(MemRequestPtr &req, Cycle now)
     lastPortCycle_ = now;
     ++accesses_;
     req->l1ServiceAt = now;
+    DCL1_CHECK_ONLY(
+        check::ledger().onTransition(*req, check::ReqStage::AtCache));
 
     if (write) {
         ++writeAccesses_;
@@ -218,6 +231,10 @@ CacheBank::hasDownstream() const
 void
 CacheBank::fill(MemRequestPtr reply, Cycle now)
 {
+    // The reply (from a NoC, a DRAM channel, or a surrounding node's
+    // Q4) is now inside this cache level.
+    DCL1_CHECK_ONLY(
+        check::ledger().onTransition(*reply, check::ReqStage::AtCache));
     if (reply->isWrite()) {
         // Write-through ACK (WriteEvict): complete the original write.
         scheduleCompletion(std::move(reply), now);

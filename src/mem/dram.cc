@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::mem
@@ -46,12 +48,20 @@ DramChannel::push(MemRequestPtr req, Cycle now)
 {
     if (!canAccept())
         panic("dram %s: push to full queue", params_.name.c_str());
+    DCL1_CHECK_ONLY(
+        check::ledger().onTransition(*req, check::ReqStage::AtDram));
     queue_.push_back(Queued{std::move(req), now});
 }
 
 void
 DramChannel::tick(Cycle now)
 {
+    DCL1_ASSERT(now >= lastTick_,
+                "dram %s: clock ran backwards (%llu after %llu)",
+                params_.name.c_str(),
+                static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(lastTick_));
+    DCL1_CHECK_ONLY(lastTick_ = now);
     if (queue_.empty())
         return;
 
@@ -99,7 +109,9 @@ DramChannel::tick(Cycle now)
     if (req->isWrite()) {
         ++writes_;
         if (req->core == invalidId) {
-            // L2 writeback: fire-and-forget, no reply.
+            // L2 writeback: fire-and-forget, no reply. This is the
+            // end of the writeback's life.
+            DCL1_CHECK_ONLY(check::ledger().onRetire(*req));
             return;
         }
         // Write-through from an L1/DC-L1: ACK when the data lands.

@@ -117,6 +117,7 @@ class DramChannel
     /** (completionCycle, request); unsorted, scanned on take. */
     std::vector<std::pair<Cycle, MemRequestPtr>> inService_;
     Cycle busFreeAt_ = 0;
+    Cycle lastTick_ = 0; ///< monotonic-clock check (DCL1_CHECK)
 
     stats::StatGroup statGroup_;
     stats::Scalar reads_;

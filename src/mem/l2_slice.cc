@@ -1,5 +1,7 @@
 #include "mem/l2_slice.hh"
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::mem
@@ -31,12 +33,20 @@ L2Slice::pushRequest(MemRequestPtr req)
 {
     if (!input_.canPush())
         panic("L2Slice %u: push to full input queue", sliceId_);
+    DCL1_CHECK_ONLY(
+        check::ledger().onTransition(*req, check::ReqStage::AtCache));
     input_.push(std::move(req));
 }
 
 void
 L2Slice::tick(Cycle now)
 {
+    DCL1_ASSERT(now >= lastTick_,
+                "L2Slice %u: clock ran backwards (%llu after %llu)",
+                sliceId_, static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(lastTick_));
+    DCL1_CHECK_ONLY(lastTick_ = now);
+
     // DRAM completions are routed to onDramReply() by the owner (the
     // channel is shared between slices; see GpuSystem::tickMemory).
 
@@ -54,8 +64,11 @@ L2Slice::tick(Cycle now)
         auto done = bank_.takeCompleted(now);
         if (!done)
             break;
-        if ((*done)->core == invalidId)
+        if ((*done)->core == invalidId) {
+            // Upstream writeback absorbed by the L2: end of its life.
+            DCL1_CHECK_ONLY(check::ledger().onRetire(**done));
             continue;
+        }
         replies_.push(std::move(*done));
     }
 

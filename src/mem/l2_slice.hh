@@ -64,6 +64,7 @@ class L2Slice
     BoundedQueue<MemRequestPtr> input_;
     BoundedQueue<MemRequestPtr> replies_;
     std::uint64_t dramInFlight_ = 0;
+    Cycle lastTick_ = 0; ///< monotonic-clock check (DCL1_CHECK)
 };
 
 } // namespace dcl1::mem

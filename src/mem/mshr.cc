@@ -1,5 +1,7 @@
 #include "mem/mshr.hh"
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::mem
@@ -12,6 +14,7 @@ MemRequest::~MemRequest()
     if (gFetchLeakCheck && fetchDepth > 0)
         panic("MemRequest destroyed while a registered fetch (line %llu)",
               static_cast<unsigned long long>(addr / defaultLineBytes));
+    DCL1_CHECK_ONLY(check::ledger().onDestroy(*this));
 }
 
 Mshr::Mshr(std::uint32_t num_entries, std::uint32_t targets_per_entry)
@@ -29,13 +32,25 @@ Mshr::registerMiss(LineAddr line, MemRequestPtr &req)
         Entry &e = it->second;
         if (e.totalTargets >= targetsPerEntry_)
             return MshrOutcome::NoTargetFree;
+        // Merging an upstream cache's fetch as a secondary target is
+        // fine (the L2 does it constantly); only this entry's own
+        // primary fetch must never come back, and it never re-enters
+        // registerMiss because the owning bank holds it downstream.
+        DCL1_CHECK_ONLY(
+            check::ledger().onTransition(*req, check::ReqStage::InMshr));
         e.targets.push_back(std::move(req));
         ++e.totalTargets;
+        DCL1_ASSERT(e.totalTargets == e.targets.size() + 1,
+                    "Mshr: target count diverged on line %llu",
+                    static_cast<unsigned long long>(line));
         return MshrOutcome::Merged;
     }
     if (entries_.size() >= numEntries_)
         return MshrOutcome::NoEntryFree;
     entries_.emplace(line, Entry{});
+    DCL1_ASSERT(entries_.size() <= numEntries_,
+                "Mshr: entry count %zu exceeds capacity %u",
+                entries_.size(), numEntries_);
     return MshrOutcome::NewEntry;
 }
 
@@ -52,8 +67,15 @@ Mshr::completeFetch(LineAddr line)
     if (it == entries_.end())
         panic("Mshr::completeFetch on line %llu with no entry",
               static_cast<unsigned long long>(line));
+    DCL1_ASSERT(it->second.totalTargets == it->second.targets.size() + 1,
+                "Mshr: target count diverged on line %llu",
+                static_cast<unsigned long long>(line));
     std::vector<MemRequestPtr> targets = std::move(it->second.targets);
     entries_.erase(it);
+    // Released targets are back inside the owning cache, which fans
+    // them out through its completion port.
+    DCL1_CHECK_ONLY(for (const auto &t : targets) check::ledger()
+                        .onTransition(*t, check::ReqStage::AtCache));
     return targets;
 }
 

@@ -11,6 +11,9 @@
 #include <optional>
 #include <utility>
 
+#include "check/check.hh"
+#include "common/log.hh"
+
 namespace dcl1::mem
 {
 
@@ -34,6 +37,8 @@ class BoundedQueue
     void
     push(T v)
     {
+        DCL1_ASSERT(!full(),
+                    "BoundedQueue: push beyond capacity %zu", capacity_);
         q_.push_back(std::move(v));
     }
 
@@ -55,6 +60,7 @@ class BoundedQueue
     T
     pop()
     {
+        DCL1_ASSERT(!q_.empty(), "BoundedQueue: pop from empty queue");
         T v = std::move(q_.front());
         q_.pop_front();
         return v;

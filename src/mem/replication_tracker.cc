@@ -79,6 +79,25 @@ ReplicationTracker::presentElsewhere(std::uint32_t cache_id,
     return p.count > (self ? 1u : 0u);
 }
 
+bool
+ReplicationTracker::holds(std::uint32_t cache_id, LineAddr line) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return false;
+    return it->second.bits[cache_id / 64] & (1ull << (cache_id % 64));
+}
+
+std::uint64_t
+ReplicationTracker::totalPresence() const
+{
+    std::uint64_t total = 0;
+    // Audit path only; never called from a ticked code path.
+    for (const auto &kv : lines_) // lint: unordered-iter-ok
+        total += kv.second.count;
+    return total;
+}
+
 double
 ReplicationTracker::replicationRatio() const
 {

@@ -39,6 +39,15 @@ class ReplicationTracker : public CacheListener
     /** Is @p line held by any cache other than @p cache_id? */
     bool presentElsewhere(std::uint32_t cache_id, LineAddr line) const;
 
+    /** Is @p line recorded as held by @p cache_id? */
+    bool holds(std::uint32_t cache_id, LineAddr line) const;
+
+    /**
+     * Sum of per-line copy counts. O(lines); audit use only — must
+     * equal the total tag-array occupancy of the tracked caches.
+     */
+    std::uint64_t totalPresence() const;
+
     /** Misses whose line was resident in another L1 / total misses. */
     double replicationRatio() const;
 

@@ -79,6 +79,13 @@ struct MemRequest
      */
     std::uint8_t fetchDepth = 0;
 
+    /**
+     * check::RequestLedger sequence number; 0 = untracked. Assigned at
+     * registration, used to audit the request's lifecycle state
+     * machine (see check/request_ledger.hh).
+     */
+    std::uint64_t chkSeq = 0;
+
     bool isFetch() const { return fetchDepth > 0; }
 
     bool isRead() const { return op == MemOp::Read; }

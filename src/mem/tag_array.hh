@@ -75,6 +75,19 @@ class TagArray
     /** Number of currently valid lines (O(capacity); for tests/stats). */
     std::uint64_t occupancy() const;
 
+    /**
+     * Invoke @p fn(line) for every valid line. O(capacity); audit and
+     * debug use only, never from a ticked path.
+     */
+    template <typename Fn>
+    void
+    forEachValidLine(Fn &&fn) const
+    {
+        for (const auto &w : ways_)
+            if (w.valid)
+                fn(w.line);
+    }
+
     /** Map a line address to its (hashed) set index. */
     std::uint32_t setIndex(LineAddr line) const;
 

@@ -1,5 +1,6 @@
 #include "noc/cdxbar.hh"
 
+#include "check/check.hh"
 #include "common/log.hh"
 
 namespace dcl1::noc
@@ -62,6 +63,7 @@ CdXbarNet::inject(std::uint32_t src, std::uint32_t dst,
     pkt.flits = flits;
     pkt.endpoint = dst;
     pkt.req = std::move(req);
+    DCL1_CHECK_ONLY(++chkInjectedPkts_);
 
     if (params_.direction == CdxDirection::Concentrate) {
         // Core -> local crossbar; trunk chosen by final destination so
@@ -91,6 +93,7 @@ CdXbarNet::eject(std::uint32_t dst)
             dst % params_.perCluster);
     if (!pkt)
         return std::nullopt;
+    DCL1_CHECK_ONLY(++chkEjectedPkts_);
     return std::move(pkt->req);
 }
 
@@ -100,6 +103,11 @@ CdXbarNet::tick()
     for (auto &local : locals_)
         local->tick();
     global_->tick();
+
+#if DCL1_CHECK_ENABLED
+    if ((++tickCount_ & 63) == 0)
+        checkInvariants();
+#endif
 
     // Inter-stage glue: move packets that finished one stage into the
     // next, respecting input-queue backpressure.
@@ -143,6 +151,29 @@ CdXbarNet::busy() const
         if (local->busy())
             return true;
     return false;
+}
+
+std::size_t
+CdXbarNet::pendingPackets() const
+{
+    std::size_t pending = global_->pendingPackets();
+    for (const auto &local : locals_)
+        pending += local->pendingPackets();
+    return pending;
+}
+
+void
+CdXbarNet::checkInvariants() const
+{
+#if DCL1_CHECK_ENABLED
+    const std::size_t inside = pendingPackets();
+    if (chkInjectedPkts_ != chkEjectedPkts_ + inside)
+        panic("CdXbarNet %s: packet conservation broken "
+              "(%llu injected, %llu ejected, %zu inside)",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(chkInjectedPkts_),
+              static_cast<unsigned long long>(chkEjectedPkts_), inside);
+#endif // DCL1_CHECK_ENABLED
 }
 
 void

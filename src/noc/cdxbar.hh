@@ -79,10 +79,30 @@ class CdXbarNet
 
     void resetStats();
 
+    /** Packets buffered or in flight anywhere in either stage. */
+    std::size_t pendingPackets() const;
+
+    /**
+     * Verify end-to-end conservation across the two stages
+     * (DCL1_CHECK builds): every packet injected into the net was
+     * either ejected or is still inside one of the crossbars.
+     * panic()s on violation. Each member crossbar additionally runs
+     * its own internal audit on its own cadence.
+     */
+    void checkInvariants() const;
+
   private:
     CdxParams params_;
     std::vector<std::unique_ptr<Crossbar>> locals_; ///< Z local xbars
     std::unique_ptr<Crossbar> global_;
+
+    Cycle tickCount_ = 0;
+
+    /// @name Net-level conservation counters (DCL1_CHECK)
+    /// @{
+    std::uint64_t chkInjectedPkts_ = 0;
+    std::uint64_t chkEjectedPkts_ = 0;
+    /// @}
 };
 
 } // namespace dcl1::noc

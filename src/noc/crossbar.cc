@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+#include "check/request_ledger.hh"
 #include "common/log.hh"
 
 namespace dcl1::noc
@@ -55,6 +57,13 @@ Crossbar::inject(Packet pkt)
         panic("Crossbar %s: zero-flit packet", params_.name.c_str());
 
     pkt.injectedAt = nocCycle_;
+    DCL1_CHECK_ONLY({
+        if (pkt.req)
+            check::ledger().onTransition(*pkt.req,
+                                         check::ReqStage::InNoc);
+        ++chkInjectedPkts_;
+        chkInjectedFlits_ += pkt.flits;
+    });
     auto &q = voq_[voqIndex(pkt.src, pkt.dst)];
     if (q.empty())
         reqBits_[pkt.dst][pkt.src / 64] |= 1ull << (pkt.src % 64);
@@ -70,6 +79,7 @@ Crossbar::eject(std::uint32_t output)
         return std::nullopt;
     Packet pkt = std::move(q.front());
     q.pop_front();
+    DCL1_CHECK_ONLY(++chkEjectedPkts_);
     return pkt;
 }
 
@@ -105,6 +115,10 @@ Crossbar::nocTick()
             flits_ += pkt.flits;
             outputFlits_[pkt.dst] += pkt.flits;
             latencySum_ += nocCycle_ - pkt.injectedAt;
+            DCL1_CHECK_ONLY({
+                ++chkDeliveredPkts_;
+                chkDeliveredFlits_ += pkt.flits;
+            });
             outQ_[pkt.dst].push_back(std::move(pkt));
         } else {
             ++i;
@@ -112,6 +126,12 @@ Crossbar::nocTick()
     }
 
     allocate();
+
+#if DCL1_CHECK_ENABLED
+    // Full-state audit is O(inputs * outputs); amortize it.
+    if ((nocCycle_ & 63) == 0)
+        checkInvariants();
+#endif
 }
 
 void
@@ -216,6 +236,109 @@ Crossbar::dbgVoqState() const
     for (const auto &b : reqBits_)
         bits_set += __builtin_popcountll(b[0]) + __builtin_popcountll(b[1]);
     return {sum_voq, sum_occ, nonempty, bits_set};
+}
+
+std::size_t
+Crossbar::pendingPackets() const
+{
+    std::size_t pending = inTransit_.size();
+    for (const auto occ : inputOcc_)
+        pending += occ;
+    for (const auto &q : outQ_)
+        pending += q.size();
+    return pending;
+}
+
+void
+Crossbar::checkInvariants() const
+{
+#if DCL1_CHECK_ENABLED
+    // Per-input credit accounting vs. actual VOQ occupancy, and
+    // request bits exactly mirroring VOQ non-emptiness.
+    for (std::uint32_t in = 0; in < params_.numInputs; ++in) {
+        std::size_t occ = 0;
+        for (std::uint32_t out = 0; out < params_.numOutputs; ++out) {
+            const auto &q = voq_[voqIndex(in, out)];
+            occ += q.size();
+            const bool bit =
+                (reqBits_[out][in / 64] >> (in % 64)) & 1ull;
+            if (bit != !q.empty())
+                panic("Crossbar %s: request bit %u->%u is %d but VOQ "
+                      "holds %zu packets",
+                      params_.name.c_str(), in, out, int(bit), q.size());
+        }
+        if (occ != inputOcc_[in])
+            panic("Crossbar %s: input %u credit count %u != VOQ "
+                  "occupancy %zu",
+                  params_.name.c_str(), in, inputOcc_[in], occ);
+        if (occ > params_.inputQueueCap)
+            panic("Crossbar %s: input %u over capacity (%zu > %u)",
+                  params_.name.c_str(), in, occ, params_.inputQueueCap);
+    }
+
+    // Output reservations vs. in-transit packets, and bounded output
+    // queues (a reservation is a credit for a future outQ slot).
+    std::vector<std::uint32_t> transit(params_.numOutputs, 0);
+    std::uint64_t transit_flits = 0;
+    for (const auto &t : inTransit_) {
+        ++transit[t.second.dst];
+        transit_flits += t.second.flits;
+    }
+    for (std::uint32_t out = 0; out < params_.numOutputs; ++out) {
+        if (transit[out] != outReserved_[out])
+            panic("Crossbar %s: output %u reservations %u != in-transit "
+                  "packets %u",
+                  params_.name.c_str(), out, outReserved_[out],
+                  transit[out]);
+        if (outQ_[out].size() + outReserved_[out] >
+            params_.outputQueueCap)
+            panic("Crossbar %s: output %u overcommitted (%zu queued + "
+                  "%u reserved > cap %u)",
+                  params_.name.c_str(), out, outQ_[out].size(),
+                  outReserved_[out], params_.outputQueueCap);
+    }
+
+    // Conservation: every packet/flit ever injected is delivered or
+    // still buffered or traversing (flits in == flits out per crossing).
+    std::uint64_t voq_flits = 0;
+    std::uint64_t voq_pkts = 0;
+    for (const auto &q : voq_) {
+        voq_pkts += q.size();
+        for (const auto &p : q)
+            voq_flits += p.flits;
+    }
+    if (chkInjectedPkts_ !=
+        chkDeliveredPkts_ + voq_pkts + inTransit_.size())
+        panic("Crossbar %s: packet conservation broken (%llu injected, "
+              "%llu delivered, %llu buffered, %zu in transit)",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(chkInjectedPkts_),
+              static_cast<unsigned long long>(chkDeliveredPkts_),
+              static_cast<unsigned long long>(voq_pkts),
+              inTransit_.size());
+    if (chkInjectedFlits_ !=
+        chkDeliveredFlits_ + voq_flits + transit_flits)
+        panic("Crossbar %s: flit conservation broken (%llu injected, "
+              "%llu delivered, %llu buffered, %llu in transit)",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(chkInjectedFlits_),
+              static_cast<unsigned long long>(chkDeliveredFlits_),
+              static_cast<unsigned long long>(voq_flits),
+              static_cast<unsigned long long>(transit_flits));
+
+    // Delivered packets either left through eject() or still wait in
+    // an output queue.
+    std::size_t outq_pkts = 0;
+    for (const auto &q : outQ_)
+        outq_pkts += q.size();
+    if (chkDeliveredPkts_ != chkEjectedPkts_ + outq_pkts)
+        panic("Crossbar %s: output-queue conservation broken "
+              "(%llu delivered, %llu ejected, %zu queued)",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(chkDeliveredPkts_),
+              static_cast<unsigned long long>(chkEjectedPkts_),
+              outq_pkts);
+#endif // DCL1_CHECK_ENABLED
 }
 
 bool

@@ -103,6 +103,18 @@ class Crossbar
     std::array<std::uint64_t, 4> dbgVoqState() const;
     /// @}
 
+    /** Packets buffered or in flight anywhere inside the switch. */
+    std::size_t pendingPackets() const;
+
+    /**
+     * Verify internal bookkeeping (DCL1_CHECK builds): VOQ occupancy
+     * vs. per-input credits, request-bit consistency, per-output
+     * reservations vs. in-transit packets, output-queue bounds, and
+     * packet/flit conservation (everything injected is either
+     * delivered or still inside). panic()s on violation.
+     */
+    void checkInvariants() const;
+
   private:
     void nocTick();
     void allocate();
@@ -137,6 +149,15 @@ class Crossbar
     stats::Scalar latencySum_;
     std::vector<std::uint64_t> outputFlits_;
     Cycle statStartCycle_ = 0;
+
+    /// @name Conservation counters (DCL1_CHECK; never stat-reset)
+    /// @{
+    std::uint64_t chkInjectedPkts_ = 0;
+    std::uint64_t chkInjectedFlits_ = 0;
+    std::uint64_t chkDeliveredPkts_ = 0;
+    std::uint64_t chkDeliveredFlits_ = 0;
+    std::uint64_t chkEjectedPkts_ = 0;
+    /// @}
 };
 
 } // namespace dcl1::noc

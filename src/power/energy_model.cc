@@ -31,7 +31,7 @@ NocEnergyModel::evaluate(const core::DesignConfig &design,
     if (w2 > 0.0)
         e2 /= w2;
 
-    out.seconds = rm.cycles / (coreClockGhz_ * 1e9);
+    out.seconds = double(rm.cycles) / (coreClockGhz_ * 1e9);
     if (out.seconds <= 0.0)
         return out;
 

@@ -60,7 +60,11 @@ class Distribution
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return count_ ? max_ : 0; }
-    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? double(sum_) / double(count_) : 0.0;
+    }
 
     /** Histogram access: bucket i covers [i*w, (i+1)*w). */
     std::uint64_t bucket(std::uint32_t i) const { return buckets_[i]; }

@@ -117,7 +117,8 @@ SyntheticSource::privateLine(CoreId core, WarpId warp, Rng &rng)
         lines * warp / std::max<std::uint32_t>(params_.warpsPerCore, 1);
     const LineAddr line = seg + (start + ws.streamPos++) % lines;
     ws.recent[ws.recentHead] = line;
-    ws.recentHead = (ws.recentHead + 1) % ws.recent.size();
+    ws.recentHead =
+        std::uint8_t((ws.recentHead + 1u) % ws.recent.size());
     ws.recentCount = std::min<std::uint8_t>(
         ws.recentCount + 1, std::uint8_t(ws.recent.size()));
     return line;

@@ -109,8 +109,9 @@ TEST_P(SystemPropertyTest, InvariantsHold)
         auto &tracker = gpu.tracker();
         for (LineAddr l = 0; l < 64; ++l)
             EXPECT_LE(tracker.copies(l), max_copies) << design.name;
-        if (design.clusters == 1)
+        if (design.clusters == 1) {
             EXPECT_DOUBLE_EQ(rm.replicationRatio, 0.0);
+        }
     }
 
     // Request conservation: everything in flight completes.

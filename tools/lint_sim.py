@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Simulator-specific lint for dcl1sim.
+
+Enforces rules a generic linter cannot know about:
+
+  R1  no-libc-rand       rand()/srand()/random() are banned everywhere:
+                         simulation randomness must flow through the
+                         seeded Rng so runs stay reproducible.
+  R2  no-unordered-iter  range-for over an unordered container inside
+                         src/ is banned unless the line (or the line
+                         above) carries `lint: unordered-iter-ok`.
+                         Iteration order is unspecified and poisons
+                         same-seed determinism the moment it feeds any
+                         simulated decision.
+  R3  no-naked-new       `new X` outside make_unique/make_shared is
+                         banned in src/; ownership must be expressed
+                         with smart pointers.
+  R4  stats-once         a StatGroup must not register the same stat
+                         name twice in one addScalar/addDistribution
+                         call site file (copy-paste duplicate guard).
+  R5  panic-vs-fatal     fatal() is for configuration/user errors and
+                         belongs in constructors, factories and option
+                         parsing; inside tick()/access()/fill()-style
+                         hot paths an impossible condition is a
+                         simulator bug and must use panic(). We flag
+                         fatal() calls whose message clearly reports
+                         internal state corruption ("underflow",
+                         "leak", "double", "corrupt", "invariant").
+  R6  no-wallclock       time(NULL)/clock()/chrono::system_clock inside
+                         src/ (outside tools/bench) breaks determinism.
+
+Usage: tools/lint_sim.py [--root DIR]
+Exits non-zero if any violation is found.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SRC_EXTS = {".cc", ".hh"}
+
+RE_LIBC_RAND = re.compile(r"(?<![\w:.])(?:s?rand|random)\s*\(")
+RE_UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set)\s*<[^;{]*>\s*(\w+)\s*[;{=]"
+)
+RE_NAKED_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_][\w:<>, ]*[({]")
+RE_STAT_REG = re.compile(
+    r"add(?:Scalar|Distribution)\s*\(\s*\"([^\"]+)\""
+)
+RE_FATAL = re.compile(r"(?<![\w.])fatal\s*\(")
+RE_BUG_WORDS = re.compile(
+    r"underflow|overflow(?!ed queue)|leak|double|corrupt|invariant",
+    re.IGNORECASE,
+)
+RE_WALLCLOCK = re.compile(
+    r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+    r"|std::chrono::system_clock|(?<![\w:.])clock\s*\(\s*\)"
+)
+ALLOW_COMMENT = "lint: unordered-iter-ok"
+
+
+def strip_comments_and_strings(line):
+    """Remove string literals and // comments (keeps lint pragmas out)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//")[0]
+
+
+def lint_file(path, root):
+    rel = path.relative_to(root)
+    violations = []
+    in_src = rel.parts[0] == "src"
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+
+    # Names declared as unordered containers in this file or in the
+    # paired header (members are declared in .hh, iterated in .cc).
+    unordered_names = set(RE_UNORDERED_DECL.findall(text))
+    if path.suffix == ".cc":
+        header = path.with_suffix(".hh")
+        if header.is_file():
+            unordered_names |= set(
+                RE_UNORDERED_DECL.findall(
+                    header.read_text(encoding="utf-8", errors="replace")
+                )
+            )
+    re_unordered_iter = (
+        re.compile(
+            r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?("
+            + "|".join(re.escape(n) for n in sorted(unordered_names))
+            + r")\s*\)"
+        )
+        if unordered_names
+        else None
+    )
+
+    stat_names = {}
+    in_block_comment = False
+    for ln, raw in enumerate(lines, start=1):
+        allowed = ALLOW_COMMENT in raw or (
+            ln >= 2 and ALLOW_COMMENT in lines[ln - 2]
+        )
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+        line = strip_comments_and_strings(raw)
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+            line = line.split("/*")[0]
+
+        if RE_LIBC_RAND.search(line):
+            violations.append(
+                (ln, "no-libc-rand", "use the seeded Rng, not libc rand")
+            )
+        if in_src and re_unordered_iter and not allowed:
+            if re_unordered_iter.search(line):
+                violations.append(
+                    (
+                        ln,
+                        "no-unordered-iter",
+                        "iterating an unordered container; order is "
+                        "unspecified — annotate audit-only loops with "
+                        f"`{ALLOW_COMMENT}`",
+                    )
+                )
+        if in_src and RE_NAKED_NEW.search(line):
+            if "make_unique" not in line and "make_shared" not in line:
+                violations.append(
+                    (ln, "no-naked-new", "use std::make_unique")
+                )
+        if in_src and RE_WALLCLOCK.search(line):
+            violations.append(
+                (
+                    ln,
+                    "no-wallclock",
+                    "wall-clock time in simulation code breaks "
+                    "determinism",
+                )
+            )
+        m = RE_FATAL.search(line)
+        if in_src and m and RE_BUG_WORDS.search(raw):
+            violations.append(
+                (
+                    ln,
+                    "panic-vs-fatal",
+                    "internal-state corruption is a simulator bug: "
+                    "use panic(), reserve fatal() for config errors",
+                )
+            )
+        for m in RE_STAT_REG.finditer(line):
+            name = m.group(1)
+            if name in stat_names:
+                violations.append(
+                    (
+                        ln,
+                        "stats-once",
+                        f'stat "{name}" already registered at line '
+                        f"{stat_names[name]}",
+                    )
+                )
+            else:
+                stat_names[name] = ln
+    return [(rel, ln, rule, msg) for ln, rule, msg in violations]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+    )
+    args = ap.parse_args()
+    root = args.root.resolve()
+
+    files = []
+    for sub in ("src", "tools", "bench"):
+        base = root / sub
+        if base.is_dir():
+            files += [
+                p
+                for p in sorted(base.rglob("*"))
+                if p.suffix in SRC_EXTS
+            ]
+
+    if not files:
+        print(f"lint_sim: no source files under {root} — bad --root?")
+        return 2
+
+    all_violations = []
+    for path in files:
+        all_violations += lint_file(path, root)
+
+    for rel, ln, rule, msg in all_violations:
+        print(f"{rel}:{ln}: [{rule}] {msg}")
+    if all_violations:
+        print(f"lint_sim: {len(all_violations)} violation(s)")
+        return 1
+    print(f"lint_sim: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
