@@ -3,9 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/log.hh"
+#include "exec/job_runner.hh"
+#include "exec/job_set.hh"
 
 namespace dcl1::bench
 {
@@ -60,6 +64,61 @@ Harness::cacheKey(const core::DesignConfig &design,
                     static_cast<unsigned long long>(opts_.measureCycles),
                     static_cast<unsigned long long>(opts_.warmupCycles),
                     static_cast<unsigned long long>(sys_.seed));
+}
+
+void
+Harness::prefetch(const std::vector<core::DesignConfig> &designs,
+                  const std::vector<workload::AppInfo> &apps,
+                  bool with_baseline)
+{
+    exec::JobSet set;
+    // Job index -> harness cache key; memoization may map several
+    // (design, app) pairs onto one job.
+    std::vector<std::pair<std::size_t, std::string>> wanted;
+    auto request = [&](const core::DesignConfig &design,
+                       const workload::AppInfo &app) {
+        const std::string key = cacheKey(design, app.params.name);
+        if (results_.count(key))
+            return;
+        wanted.emplace_back(
+            set.addCell(sys_, design, app.params, opts_), key);
+    };
+    for (const auto &app : apps) {
+        if (with_baseline)
+            request(core::baselineDesign(), app);
+        for (const auto &design : designs)
+            request(design, app);
+    }
+    if (set.size() == 0)
+        return;
+
+    const std::vector<exec::JobResult> results = runJobSet(set);
+
+    for (const auto &[index, key] : wanted) {
+        const exec::JobResult &r = results[index];
+        if (!r.ok) {
+            warn("prefetch: %s failed (%s); the serial run will retry",
+                 r.label.c_str(), r.error.c_str());
+            continue;
+        }
+        if (results_.emplace(key, r.metrics).second)
+            cacheDirty_ = true;
+    }
+}
+
+std::vector<exec::JobResult>
+runJobSet(const exec::JobSet &set)
+{
+    exec::JobRunner runner(exec::ExecOptions::fromEnv());
+    exec::ProgressSink progress;
+    runner.addSink(&progress);
+    std::unique_ptr<exec::JsonlSink> jsonl;
+    if (!runner.options().jsonlPath.empty()) {
+        jsonl = std::make_unique<exec::JsonlSink>(
+            runner.options().jsonlPath);
+        runner.addSink(jsonl.get());
+    }
+    return runner.run(set.specs());
 }
 
 const core::RunMetrics &

@@ -11,6 +11,9 @@
  *   DCL1_CYCLES / DCL1_WARMUP - simulation length per run
  *   DCL1_CACHE=<file>         - optional cross-binary result cache
  *   DCL1_APPS=a,b,c           - restrict the app set (smoke runs)
+ *   DCL1_JOBS=N               - parallel workers for prefetch()
+ *                               (default: one per hardware thread)
+ *   DCL1_JOBS_LOG=<file>      - per-job JSONL timing records
  */
 
 #ifndef DCL1_BENCH_BENCH_COMMON_HH
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "exec/job_set.hh"
 #include "workload/app_catalog.hh"
 
 namespace dcl1::bench
@@ -36,6 +40,20 @@ class Harness
      */
     Harness(const std::string &title, const std::string &what);
     ~Harness();
+
+    /**
+     * Simulate every missing (design, app) cell of the grid — plus
+     * each app's Baseline unless @p with_baseline is false — on the
+     * parallel execution engine (DCL1_JOBS workers), filling the
+     * result cache so the subsequent run()/speedup() calls that print
+     * the table are pure lookups. Printed output is identical to the
+     * serial harness: results are keyed, never ordered by completion.
+     * A cell that fails in the prefetch is left uncached; the serial
+     * run() that needs it will re-run it and surface the real error.
+     */
+    void prefetch(const std::vector<core::DesignConfig> &designs,
+                  const std::vector<workload::AppInfo> &apps,
+                  bool with_baseline = true);
 
     /** Run (or fetch from cache) one simulation. */
     const core::RunMetrics &run(const core::DesignConfig &design,
@@ -71,6 +89,15 @@ class Harness
     std::map<std::string, core::RunMetrics> results_;
     bool cacheDirty_ = false;
 };
+
+/**
+ * Run a prepared JobSet on the parallel engine (DCL1_JOBS workers,
+ * optional DCL1_JOBS_LOG JSONL records) and return the per-job results
+ * in job order. Benches whose grids fall outside the Harness cache
+ * (custom platforms, modified SystemConfig fields) use this directly;
+ * failed jobs are returned as-is with ok == false.
+ */
+std::vector<exec::JobResult> runJobSet(const exec::JobSet &set);
 
 /// @name Table formatting helpers
 /// @{

@@ -24,6 +24,16 @@ main()
 
     const auto apps = h.apps(/*sensitive_only=*/true);
 
+    {
+        const auto boost = core::clusteredDcl1(40, 10, true);
+        core::DesignConfig noc2 = boost;
+        noc2.noc2ClockRatio = 1.0;
+        noc2.name = "Sh40+C10+Boost+2xNoC2";
+        h.prefetch({boost, core::withCapacityScale(boost, 2.0),
+                    core::withCapacityScale(boost, 4.0), noc2},
+                   apps);
+    }
+
     header("DC-L1 capacity scaling on Sh40+C10+Boost (avg speedup)");
     columns("", {"1x", "2x", "4x"});
     std::vector<double> cap_avg;

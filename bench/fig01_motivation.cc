@@ -31,6 +31,7 @@ main()
 
     const auto big = core::withCapacityScale(core::baselineDesign(), 16.0);
     const auto shared = core::sharedDcl1(40);
+    h.prefetch({big, shared}, h.apps());
 
     for (const auto &app : h.apps()) {
         const auto &base = h.baseline(app);

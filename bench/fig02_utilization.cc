@@ -19,6 +19,7 @@ main()
     Harness h("Figure 2",
               "Baseline L1 data-port and L2->core reply-link "
               "utilization (max across units)");
+    h.prefetch({}, h.apps());
 
     struct Row
     {

@@ -24,6 +24,11 @@ main()
     const std::vector<std::uint32_t> node_counts = {80, 40, 20, 10};
     const auto apps = h.apps(/*sensitive_only=*/true);
 
+    std::vector<core::DesignConfig> designs;
+    for (const std::uint32_t y : node_counts)
+        designs.push_back(core::privateDcl1(y));
+    h.prefetch(designs, apps);
+
     header("(a) IPC normalized to baseline");
     columns("app", {"Pr80", "Pr40", "Pr20", "Pr10"});
     std::vector<double> ipc_sum(4, 0.0);

@@ -20,6 +20,7 @@ main()
               "Sh40 on the replication-sensitive applications");
 
     const auto sh40 = core::sharedDcl1(40);
+    h.prefetch({sh40}, h.apps(/*sensitive_only=*/true));
     header("(a) miss rate and (b) IPC, normalized to baseline");
     columns("app", {"missrate", "IPC"});
 

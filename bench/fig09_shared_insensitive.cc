@@ -20,6 +20,7 @@ main()
               "Sh40 on the replication-insensitive applications");
 
     const auto sh40 = core::sharedDcl1(40);
+    h.prefetch({sh40}, h.apps(false, /*insensitive_only=*/true));
     struct Row
     {
         std::string name;

@@ -22,6 +22,11 @@ main()
     const std::vector<std::uint32_t> cluster_counts = {1, 5, 10, 20, 40};
     const auto apps = h.apps(/*sensitive_only=*/true);
 
+    std::vector<core::DesignConfig> designs;
+    for (const std::uint32_t c : cluster_counts)
+        designs.push_back(core::clusteredDcl1(40, c));
+    h.prefetch(designs, apps);
+
     header("(a) miss rate normalized to baseline");
     columns("app", {"C1", "C5", "C10", "C20", "C40"});
     std::vector<double> mr_sum(5, 0), ipc_sum(5, 0);

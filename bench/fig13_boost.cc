@@ -21,6 +21,14 @@ main()
               "Poor performers under clustering + frequency boost; max "
               "crossbar frequencies");
 
+    std::vector<workload::AppInfo> poor;
+    for (const auto &app : h.apps())
+        if (app.poorUnderSh40)
+            poor.push_back(app);
+    h.prefetch({core::sharedDcl1(40), core::clusteredDcl1(40, 10),
+                core::clusteredDcl1(40, 10, true)},
+               poor);
+
     header("(a) poor-performing apps, IPC normalized to baseline");
     columns("app", {"Sh40", "C10", "C10+Bst"});
     for (const auto &app : h.apps()) {

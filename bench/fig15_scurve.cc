@@ -20,6 +20,7 @@ main()
     const std::vector<core::DesignConfig> designs = {
         core::privateDcl1(40), core::sharedDcl1(40),
         core::clusteredDcl1(40, 10), core::clusteredDcl1(40, 10, true)};
+    h.prefetch(designs, h.apps());
 
     for (const auto &d : designs) {
         std::vector<std::pair<double, std::string>> sp;

@@ -21,6 +21,7 @@ main()
     const std::vector<core::DesignConfig> designs = {
         core::privateDcl1(40), core::sharedDcl1(40),
         core::clusteredDcl1(40, 10), core::clusteredDcl1(40, 10, true)};
+    h.prefetch(designs, h.apps(/*sensitive_only=*/true));
 
     header("miss rate normalized to baseline (sensitive apps)");
     columns("app", {"Pr40", "Sh40", "C10", "C10+Bst"});

@@ -25,6 +25,7 @@ main()
               "(Sh40+C10+Boost)");
 
     const auto boost = core::clusteredDcl1(40, 10, true);
+    h.prefetch({boost}, h.apps());
     power::NocEnergyModel energy;
 
     header("(a) NoC power and energy (all apps, normalized to baseline)");

@@ -25,6 +25,15 @@ main()
     const std::vector<core::DesignConfig> designs = {
         core::cdxbarDesign(false, false), core::cdxbarDesign(true, false),
         core::cdxbarDesign(true, true), core::clusteredDcl1(40, 10, true)};
+    {
+        std::vector<core::DesignConfig> grid = designs;
+        for (const std::int32_t lat : {0, 16, 28, 48, 64}) {
+            grid.push_back(core::withL1Latency(core::baselineDesign(), lat));
+            grid.push_back(core::withL1Latency(
+                core::clusteredDcl1(40, 10, true), lat));
+        }
+        h.prefetch(grid, h.apps());
+    }
     columns("", {"CDXBar", "+2xNoC1", "+2xNoC", "C10+Bst"});
 
     for (bool sensitive : {true, false}) {

@@ -62,7 +62,12 @@ transitionAllowed(ReqStage from, ReqStage to)
 RequestLedger &
 RequestLedger::instance()
 {
-    static RequestLedger the_ledger;
+    // Thread-local, not process-wide: the execution engine runs
+    // independent simulations on concurrent worker threads, and a
+    // GpuSystem lives entirely on the thread that constructed it, so
+    // each thread auditing only its own requests is exactly the
+    // isolation the ledger wants. Requests never migrate threads.
+    static thread_local RequestLedger the_ledger;
     return the_ledger;
 }
 

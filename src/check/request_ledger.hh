@@ -3,7 +3,7 @@
  * End-to-end request lifecycle auditing.
  *
  * Every MemRequest a core's coalescer injects (and every writeback a
- * cache creates) is registered with the process-wide RequestLedger and
+ * cache creates) is registered with the per-thread RequestLedger and
  * then audited as it moves through the machine:
  *
  *     Issued --> InNoc <--> AtCache <--> InMshr
@@ -63,7 +63,11 @@ const char *stageName(ReqStage stage);
 class RequestLedger
 {
   public:
-    /** The process-wide ledger. */
+    /**
+     * The calling thread's ledger. One instance per thread (a
+     * simulation lives entirely on the thread that built it), so
+     * concurrent jobs of the execution engine audit independently.
+     */
     static RequestLedger &instance();
 
     /** Master switch; when false every call is a no-op. */

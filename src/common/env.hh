@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * Every knob the simulator reads from the environment must either
+ * parse completely or stop the run: a silently misparsed DCL1_CYCLES
+ * ("30k" -> 30) produces results that look plausible and are wrong,
+ * which is worse than any crash.
+ */
+
+#ifndef DCL1_COMMON_ENV_HH
+#define DCL1_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace dcl1
+{
+
+/**
+ * Parse @p text (the value of environment variable @p name) as a
+ * decimal integer in [@p min_value, @p max_value].
+ *
+ * fatal()s — naming @p name and echoing @p text — on empty input,
+ * non-numeric input, trailing garbage, or an out-of-range value.
+ */
+std::int64_t parseEnvInt(const char *name, const char *text,
+                         std::int64_t min_value, std::int64_t max_value);
+
+/**
+ * Read environment variable @p name; when set, strict-parse it as
+ * above, otherwise return @p fallback.
+ */
+std::int64_t envIntOr(const char *name, std::int64_t fallback,
+                      std::int64_t min_value, std::int64_t max_value);
+
+} // namespace dcl1
+
+#endif // DCL1_COMMON_ENV_HH

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -10,7 +11,13 @@ namespace dcl1
 namespace
 {
 
-LogLevel gLogLevel = LogLevel::Normal;
+// Atomic: worker threads of the execution engine read the level while
+// the main thread may (rarely) set it.
+std::atomic<LogLevel> gLogLevel{LogLevel::Normal};
+
+// Depth, not flag, so traps nest; thread-local because each execution
+// worker traps only its own job's errors.
+thread_local int gErrorTrapDepth = 0;
 
 std::string
 vformat(const char *fmt, std::va_list ap)
@@ -31,13 +38,29 @@ vformat(const char *fmt, std::va_list ap)
 LogLevel
 logLevel()
 {
-    return gLogLevel;
+    return gLogLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    gLogLevel = level;
+    gLogLevel.store(level, std::memory_order_relaxed);
+}
+
+SimErrorTrap::SimErrorTrap()
+{
+    ++gErrorTrapDepth;
+}
+
+SimErrorTrap::~SimErrorTrap()
+{
+    --gErrorTrapDepth;
+}
+
+bool
+SimErrorTrap::active()
+{
+    return gErrorTrapDepth > 0;
 }
 
 void
@@ -47,6 +70,8 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    if (SimErrorTrap::active())
+        throw SimAbort("panic: " + msg, /*is_panic=*/true);
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     std::abort();
 }
@@ -58,6 +83,8 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    if (SimErrorTrap::active())
+        throw SimAbort("fatal: " + msg, /*is_panic=*/false);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }

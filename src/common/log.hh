@@ -12,10 +12,46 @@
 #define DCL1_COMMON_LOG_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace dcl1
 {
+
+/**
+ * Thrown by panic()/fatal() instead of terminating the process while a
+ * SimErrorTrap is active on the calling thread. Carries the formatted
+ * message; isPanic distinguishes simulator bugs from config errors.
+ */
+class SimAbort : public std::runtime_error
+{
+  public:
+    SimAbort(const std::string &msg, bool is_panic)
+        : std::runtime_error(msg), isPanic(is_panic)
+    {
+    }
+
+    const bool isPanic;
+};
+
+/**
+ * RAII guard converting panic()/fatal() on the *current thread* into
+ * SimAbort exceptions for the guard's lifetime. The execution engine
+ * arms one around each job so a poisoned simulation is captured as a
+ * failed-job record instead of killing the whole sweep. Nests safely.
+ */
+class SimErrorTrap
+{
+  public:
+    SimErrorTrap();
+    ~SimErrorTrap();
+
+    SimErrorTrap(const SimErrorTrap &) = delete;
+    SimErrorTrap &operator=(const SimErrorTrap &) = delete;
+
+    /** True when a trap is active on the calling thread. */
+    static bool active();
+};
 
 /** Verbosity for inform(); warnings and errors always print. */
 enum class LogLevel { Quiet, Normal, Verbose };
@@ -26,11 +62,18 @@ LogLevel logLevel();
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
 
-/** Abort with a printf-style message: simulator bug. */
+/**
+ * Abort with a printf-style message: simulator bug. Throws SimAbort
+ * instead when a SimErrorTrap is active on the calling thread.
+ */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Exit(1) with a printf-style message: user/configuration error. */
+/**
+ * Exit(1) with a printf-style message: user/configuration error.
+ * Throws SimAbort instead when a SimErrorTrap is active on the
+ * calling thread.
+ */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

@@ -1,9 +1,10 @@
 #include "core/experiment.hh"
 
 #include <cmath>
-#include <cstdlib>
+#include <limits>
 
 #include "check/check.hh"
+#include "common/env.hh"
 #include "common/log.hh"
 
 namespace dcl1::core
@@ -12,19 +13,16 @@ namespace dcl1::core
 ExperimentOptions
 ExperimentOptions::fromEnv()
 {
+    // Strict parsing: "30k", "1e6" or "" must stop the run, not
+    // silently truncate into a differently sized experiment.
+    constexpr std::int64_t max = std::numeric_limits<std::int64_t>::max();
     ExperimentOptions opts;
-    if (const char *s = std::getenv("DCL1_CYCLES")) {
-        const long v = std::atol(s);
-        if (v <= 0)
-            fatal("DCL1_CYCLES must be positive, got '%s'", s);
-        opts.measureCycles = static_cast<Cycle>(v);
-    }
-    if (const char *s = std::getenv("DCL1_WARMUP")) {
-        const long v = std::atol(s);
-        if (v < 0)
-            fatal("DCL1_WARMUP must be non-negative, got '%s'", s);
-        opts.warmupCycles = static_cast<Cycle>(v);
-    }
+    opts.measureCycles = static_cast<Cycle>(envIntOr(
+        "DCL1_CYCLES", static_cast<std::int64_t>(opts.measureCycles),
+        /*min_value=*/1, max));
+    opts.warmupCycles = static_cast<Cycle>(envIntOr(
+        "DCL1_WARMUP", static_cast<std::int64_t>(opts.warmupCycles),
+        /*min_value=*/0, max));
     return opts;
 }
 

@@ -527,31 +527,57 @@ GpuSystem::tickDcl1()
     }
 }
 
-void
-GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles)
+namespace
 {
-    mem::gFetchLeakCheck = true;
-    // Inside the cycle loop every request destruction must follow a
-    // retirement; partially simulated systems torn down outside run()
-    // legitimately destroy in-flight requests.
-    DCL1_CHECK_ONLY(check::ledger().setStrictDestroy(true));
+
+/**
+ * Arms the in-loop leak checks and guarantees they are disarmed even
+ * when the loop is abandoned by an exception (cycle-budget watchdog,
+ * trapped panic): teardown of a half-simulated machine legitimately
+ * destroys in-flight requests.
+ */
+struct RunLoopGuard
+{
+    RunLoopGuard()
+    {
+        mem::gFetchLeakCheck = true;
+        // Inside the cycle loop every request destruction must follow
+        // a retirement; partially simulated systems torn down outside
+        // run() legitimately destroy in-flight requests.
+        DCL1_CHECK_ONLY(check::ledger().setStrictDestroy(true));
+    }
+
+    ~RunLoopGuard()
+    {
+        DCL1_CHECK_ONLY(check::ledger().setStrictDestroy(false));
+        mem::gFetchLeakCheck = false;
+    }
+};
+
+} // anonymous namespace
+
+void
+GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
+               const CycleHeartbeat &heartbeat)
+{
+    RunLoopGuard guard;
     for (Cycle i = 0; i < warmup_cycles; ++i) {
         tickOnce();
-        DCL1_CHECK_ONLY({
-            if ((i & 4095) == 4095)
-                checkInvariants("warmup");
-        });
+        if ((i & 4095) == 4095) {
+            DCL1_CHECK_ONLY(checkInvariants("warmup"));
+            if (heartbeat)
+                heartbeat(cycle_);
+        }
     }
     resetStats();
     for (Cycle i = 0; i < measure_cycles; ++i) {
         tickOnce();
-        DCL1_CHECK_ONLY({
-            if ((i & 4095) == 4095)
-                checkInvariants("measure");
-        });
+        if ((i & 4095) == 4095) {
+            DCL1_CHECK_ONLY(checkInvariants("measure"));
+            if (heartbeat)
+                heartbeat(cycle_);
+        }
     }
-    DCL1_CHECK_ONLY(check::ledger().setStrictDestroy(false));
-    mem::gFetchLeakCheck = false;
 }
 
 void

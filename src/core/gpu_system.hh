@@ -15,6 +15,7 @@
 #ifndef DCL1_CORE_GPU_SYSTEM_HH
 #define DCL1_CORE_GPU_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <vector>
@@ -89,10 +90,19 @@ class GpuSystem
     GpuSystem &operator=(const GpuSystem &) = delete;
 
     /**
+     * Called every few-thousand cycles during run() with the current
+     * global cycle. Used by the execution engine's cycle-budget
+     * watchdog; may throw to abandon the run (run() restores its
+     * bookkeeping flags on the way out, so teardown stays legal).
+     */
+    using CycleHeartbeat = std::function<void(Cycle)>;
+
+    /**
      * Simulate warmup + measure cycles; statistics cover only the
      * measured interval.
      */
-    void run(Cycle measure_cycles, Cycle warmup_cycles = 0);
+    void run(Cycle measure_cycles, Cycle warmup_cycles = 0,
+             const CycleHeartbeat &heartbeat = {});
 
     /** Advance a single core cycle (exposed for tests). */
     void tickOnce();

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Job model of the parallel experiment-execution engine.
+ *
+ * A *job* is one independent simulation (or any other self-contained
+ * unit of work) described by a JobSpec and producing a JobResult. Jobs
+ * never share simulated state: every GpuSystem is built, ticked and
+ * torn down on the worker thread that runs the job, which is what
+ * makes the thread-local invariant-checking machinery (request ledger,
+ * fetch-leak flag) line up with the threading model for free.
+ *
+ * Results land indexed by *job index*, not completion order, so a
+ * parallel run is observationally identical to a serial one for any
+ * consumer that reads results after run() returns.
+ *
+ * Host-side wall-clock timing lives here deliberately: the execution
+ * engine measures the *host*, never the simulated machine, so the
+ * no-wallclock simulation lint does not apply (see the audited
+ * `lint: wallclock-ok` annotations in job_runner.cc).
+ */
+
+#ifndef DCL1_EXEC_JOB_HH
+#define DCL1_EXEC_JOB_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+#include "core/gpu_system.hh"
+
+namespace dcl1::exec
+{
+
+/** Thrown by JobContext::checkCycleBudget when a job overruns. */
+class CycleBudgetExceeded : public std::runtime_error
+{
+  public:
+    explicit CycleBudgetExceeded(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** Engine-wide knobs. */
+struct ExecOptions
+{
+    /** Worker count; 0 = one per hardware thread. */
+    unsigned jobs = 0;
+
+    /**
+     * Per-job simulated-cycle watchdog budget; 0 = unlimited. A grid
+     * job whose warmup+measure interval exceeds the budget is failed
+     * (mid-run, via the GpuSystem heartbeat) instead of hogging a
+     * worker forever.
+     */
+    Cycle cycleBudget = 0;
+
+    /** Emit per-job progress lines to stderr. */
+    bool progress = true;
+
+    /** When non-empty, append one JSON record per job to this file. */
+    std::string jsonlPath;
+
+    /** Worker count a value of jobs==0 resolves to. */
+    static unsigned hardwareConcurrency();
+
+    /**
+     * Environment defaults: DCL1_JOBS (worker count), DCL1_JOB_BUDGET
+     * (per-job cycle budget), DCL1_JOBS_LOG (JSONL path). All strictly
+     * parsed.
+     */
+    static ExecOptions fromEnv();
+};
+
+/** Per-job view of the engine handed to the job function. */
+class JobContext
+{
+  public:
+    JobContext(std::size_t index, unsigned worker, Cycle cycle_budget)
+        : index_(index), worker_(worker), cycleBudget_(cycle_budget)
+    {
+    }
+
+    /** Index of this job in the submitted JobSet/spec vector. */
+    std::size_t index() const { return index_; }
+
+    /** Worker thread (0-based) executing the job. */
+    unsigned worker() const { return worker_; }
+
+    /** Configured per-job cycle budget (0 = unlimited). */
+    Cycle cycleBudget() const { return cycleBudget_; }
+
+    /**
+     * Cooperative watchdog check: throw CycleBudgetExceeded when
+     * @p simulated_cycles exceeds the configured budget. Grid jobs
+     * call this from the GpuSystem run-loop heartbeat; custom jobs
+     * with their own tick loops should call it periodically too.
+     */
+    void checkCycleBudget(Cycle simulated_cycles) const;
+
+  private:
+    std::size_t index_;
+    unsigned worker_;
+    Cycle cycleBudget_;
+};
+
+/** The work itself: runs on one worker thread, returns the metrics. */
+using JobFn = std::function<core::RunMetrics(JobContext &)>;
+
+/** One schedulable unit. */
+struct JobSpec
+{
+    std::string label; ///< "design/app" style display name
+    JobFn fn;
+};
+
+/** Outcome of one job; results are ordered by index, never by finish. */
+struct JobResult
+{
+    std::size_t index = 0;
+    std::string label;
+    bool ok = false;
+    std::string error;        ///< captured panic/fatal/exception text
+    core::RunMetrics metrics; ///< valid only when ok
+    double wallMs = 0.0;      ///< host wall time of this job
+    unsigned worker = 0;      ///< worker thread that executed it
+};
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_JOB_HH

@@ -1,0 +1,227 @@
+#include "exec/job_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/log.hh"
+
+namespace dcl1::exec
+{
+
+namespace
+{
+
+// Host-side timing of the execution engine, never of simulated
+// behavior; audited exception to the simulation no-wallclock rule.
+using HostClock = std::chrono::steady_clock; // lint: wallclock-ok
+
+double
+msSince(HostClock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(HostClock::now() -
+                                                     start)
+        .count();
+}
+
+/** One worker's mutex-guarded job queue. */
+struct WorkerDeque
+{
+    std::mutex mutex;
+    std::deque<std::size_t> jobs;
+
+    bool
+    popFront(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.front();
+        jobs.pop_front();
+        return true;
+    }
+
+    bool
+    stealBack(std::size_t &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (jobs.empty())
+            return false;
+        out = jobs.back();
+        jobs.pop_back();
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+unsigned
+ExecOptions::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ExecOptions
+ExecOptions::fromEnv()
+{
+    ExecOptions opts;
+    opts.jobs = static_cast<unsigned>(
+        envIntOr("DCL1_JOBS", 0, /*min_value=*/0, /*max_value=*/4096));
+    opts.cycleBudget = static_cast<Cycle>(
+        envIntOr("DCL1_JOB_BUDGET", 0, /*min_value=*/0,
+                 std::numeric_limits<std::int64_t>::max()));
+    if (const char *path = std::getenv("DCL1_JOBS_LOG"))
+        opts.jsonlPath = path;
+    return opts;
+}
+
+void
+JobContext::checkCycleBudget(Cycle simulated_cycles) const
+{
+    if (cycleBudget_ != 0 && simulated_cycles > cycleBudget_)
+        throw CycleBudgetExceeded(csprintf(
+            "job %zu exceeded its cycle budget (%llu > %llu simulated "
+            "cycles)",
+            index_, static_cast<unsigned long long>(simulated_cycles),
+            static_cast<unsigned long long>(cycleBudget_)));
+}
+
+JobRunner::JobRunner(ExecOptions opts) : opts_(std::move(opts))
+{
+}
+
+void
+JobRunner::addSink(ResultSink *sink)
+{
+    if (sink)
+        sinks_.push_back(sink);
+}
+
+unsigned
+JobRunner::resolveWorkers(std::size_t num_jobs) const
+{
+    const unsigned requested =
+        opts_.jobs == 0 ? ExecOptions::hardwareConcurrency() : opts_.jobs;
+    const unsigned cap =
+        static_cast<unsigned>(std::min<std::size_t>(num_jobs, 4096));
+    return std::max(1u, std::min(requested, std::max(1u, cap)));
+}
+
+std::vector<JobResult>
+JobRunner::run(const std::vector<JobSpec> &specs)
+{
+    const std::size_t n = specs.size();
+    const unsigned workers = resolveWorkers(n);
+
+    std::vector<JobResult> results(n);
+    std::mutex sink_mutex;
+
+    auto for_sinks = [&](auto &&call) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        for (ResultSink *sink : sinks_)
+            call(*sink);
+    };
+
+    const HostClock::time_point batch_start = HostClock::now();
+    for_sinks([&](ResultSink &s) { s.onRunStart(n, workers); });
+
+    // Executes one job with fault isolation; the only writer of
+    // results[index], so workers never touch the same element.
+    auto execute = [&](std::size_t index, unsigned worker) {
+        const JobSpec &spec = specs[index];
+        for_sinks([&](ResultSink &s) {
+            s.onJobStart(index, spec.label, worker);
+        });
+
+        JobResult r;
+        r.index = index;
+        r.label = spec.label;
+        r.worker = worker;
+        const HostClock::time_point job_start = HostClock::now();
+        JobContext ctx(index, worker, opts_.cycleBudget);
+        try {
+            SimErrorTrap trap;
+            r.metrics = spec.fn(ctx);
+            r.ok = true;
+        } catch (const SimAbort &e) {
+            r.error = e.what();
+        } catch (const std::exception &e) {
+            r.error = e.what();
+        } catch (...) {
+            r.error = "unknown exception";
+        }
+        r.wallMs = msSince(job_start);
+
+        results[index] = std::move(r);
+        for_sinks([&](ResultSink &s) { s.onJobDone(results[index]); });
+    };
+
+    if (workers == 1) {
+        // Inline serial mode: no threads, deterministic job order —
+        // exactly the historical behavior of the serial tools.
+        for (std::size_t i = 0; i < n; ++i)
+            execute(i, 0);
+    } else {
+        std::vector<std::unique_ptr<WorkerDeque>> deques;
+        for (unsigned w = 0; w < workers; ++w)
+            deques.push_back(std::make_unique<WorkerDeque>());
+        for (std::size_t i = 0; i < n; ++i)
+            deques[i % workers]->jobs.push_back(i);
+
+        auto worker_loop = [&](unsigned w) {
+            std::size_t index = 0;
+            for (;;) {
+                if (deques[w]->popFront(index)) {
+                    execute(index, w);
+                    continue;
+                }
+                bool stole = false;
+                for (unsigned off = 1; off < workers && !stole; ++off)
+                    stole = deques[(w + off) % workers]->stealBack(index);
+                if (!stole)
+                    return; // every deque empty: batch is finished
+                execute(index, w);
+            }
+        };
+
+        std::vector<std::thread> threads;
+        for (unsigned w = 1; w < workers; ++w)
+            threads.emplace_back(worker_loop, w);
+        worker_loop(0); // the calling thread is worker 0
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    RunSummary summary;
+    summary.totalJobs = n;
+    summary.workers = workers;
+    summary.wallMs = msSince(batch_start);
+    std::vector<std::size_t> by_time(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        by_time[i] = i;
+        summary.cpuMs += results[i].wallMs;
+        if (!results[i].ok)
+            ++summary.failedJobs;
+    }
+    summary.utilization =
+        summary.wallMs > 0.0
+            ? summary.cpuMs / (summary.wallMs * double(workers))
+            : 0.0;
+    std::sort(by_time.begin(), by_time.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return results[a].wallMs > results[b].wallMs;
+              });
+    by_time.resize(std::min<std::size_t>(n, 5));
+    summary.slowest = std::move(by_time);
+
+    for_sinks([&](ResultSink &s) { s.onRunEnd(summary, results); });
+    return results;
+}
+
+} // namespace dcl1::exec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Work-stealing thread pool executing independent simulation jobs.
+ *
+ * Threading model
+ * ---------------
+ * run() resolves a worker count W (min(opts.jobs, #jobs); opts.jobs=0
+ * means one worker per hardware thread). W==1 executes every job
+ * inline on the calling thread — no threads are spawned, which keeps
+ * `--jobs=1` byte-for-byte equivalent to the historical serial tools.
+ * For W>1, jobs are dealt round-robin onto per-worker deques; a worker
+ * pops from the front of its own deque and steals from the back of its
+ * neighbours' when it runs dry. Jobs are coarse (whole simulations),
+ * so simple mutex-guarded deques are plenty.
+ *
+ * Fault isolation
+ * ---------------
+ * Each job runs under a SimErrorTrap: panic()/fatal() raised inside
+ * the simulated machine (and any C++ exception) are captured into the
+ * job's JobResult::error instead of terminating the process; the
+ * remaining jobs keep running. The cycle-budget watchdog
+ * (ExecOptions::cycleBudget) fails runaway jobs the same way.
+ *
+ * Determinism
+ * -----------
+ * Results are stored by job index. Every simulation is a pure function
+ * of its configuration (per-thread ledger, per-instance RNG/stats), so
+ * the result vector — and anything derived from it in index order — is
+ * identical for any W.
+ */
+
+#ifndef DCL1_EXEC_JOB_RUNNER_HH
+#define DCL1_EXEC_JOB_RUNNER_HH
+
+#include <vector>
+
+#include "exec/job.hh"
+#include "exec/result_sink.hh"
+
+namespace dcl1::exec
+{
+
+/** See file comment. */
+class JobRunner
+{
+  public:
+    explicit JobRunner(ExecOptions opts = {});
+
+    /** Attach an observer (not owned; must outlive run()). */
+    void addSink(ResultSink *sink);
+
+    /**
+     * Execute every spec; blocks until all are done. Results are
+     * indexed like @p specs. Never throws for job failures — inspect
+     * JobResult::ok.
+     */
+    std::vector<JobResult> run(const std::vector<JobSpec> &specs);
+
+    /** Worker count the last/next run resolves to for @p num_jobs. */
+    unsigned resolveWorkers(std::size_t num_jobs) const;
+
+    const ExecOptions &options() const { return opts_; }
+
+  private:
+    ExecOptions opts_;
+    std::vector<ResultSink *> sinks_;
+};
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_JOB_RUNNER_HH

@@ -1,0 +1,70 @@
+#include "exec/job_set.hh"
+
+#include "check/check.hh"
+#include "common/log.hh"
+
+namespace dcl1::exec
+{
+
+core::RunMetrics
+runCell(const GridCell &cell, JobContext &ctx)
+{
+    // Fail a mis-budgeted cell before paying for construction.
+    if (ctx.cycleBudget() != 0)
+        ctx.checkCycleBudget(cell.opts.warmupCycles +
+                             cell.opts.measureCycles);
+
+    core::GpuSystem gpu(cell.sys, cell.design, cell.app);
+    core::GpuSystem::CycleHeartbeat heartbeat;
+    if (ctx.cycleBudget() != 0)
+        heartbeat = [&ctx](Cycle now) { ctx.checkCycleBudget(now); };
+    gpu.run(cell.opts.measureCycles, cell.opts.warmupCycles, heartbeat);
+    // Full audit at the end of the measured interval, exactly like
+    // core::runOnce; run() itself audits on a power-of-two cadence.
+    DCL1_CHECK_ONLY(gpu.checkInvariants("exec::runCell"));
+    return gpu.metrics();
+}
+
+std::size_t
+JobSet::addCell(const core::SystemConfig &sys,
+                const core::DesignConfig &design,
+                const workload::WorkloadParams &app,
+                const core::ExperimentOptions &opts,
+                const std::string &key_suffix)
+{
+    ++cellsRequested_;
+    const std::string key = csprintf(
+        "%s|%s|%llu|%llu|%s|%llu|%s", design.name.c_str(),
+        app.name.c_str(),
+        static_cast<unsigned long long>(opts.measureCycles),
+        static_cast<unsigned long long>(opts.warmupCycles),
+        sys.summary().c_str(), static_cast<unsigned long long>(sys.seed),
+        key_suffix.c_str());
+    const auto it = keyToIndex_.find(key);
+    if (it != keyToIndex_.end())
+        return it->second;
+
+    GridCell cell{sys, design, app, opts};
+    JobSpec spec;
+    spec.label = design.name + "/" + app.name;
+    spec.fn = [cell = std::move(cell)](JobContext &ctx) {
+        return runCell(cell, ctx);
+    };
+    specs_.push_back(std::move(spec));
+    ++cellsScheduled_;
+    const std::size_t index = specs_.size() - 1;
+    keyToIndex_.emplace(key, index);
+    return index;
+}
+
+std::size_t
+JobSet::add(std::string label, JobFn fn)
+{
+    JobSpec spec;
+    spec.label = std::move(label);
+    spec.fn = std::move(fn);
+    specs_.push_back(std::move(spec));
+    return specs_.size() - 1;
+}
+
+} // namespace dcl1::exec

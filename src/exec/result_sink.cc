@@ -1,0 +1,136 @@
+#include "exec/result_sink.hh"
+
+#include "common/log.hh"
+
+namespace dcl1::exec
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x",
+                                static_cast<unsigned>(
+                                    static_cast<unsigned char>(c)));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+ProgressSink::onRunStart(std::size_t num_jobs, unsigned workers)
+{
+    total_ = num_jobs;
+    done_ = 0;
+    std::fprintf(stderr, "[exec] %zu job(s) on %u worker(s)\n", num_jobs,
+                 workers);
+}
+
+void
+ProgressSink::onJobDone(const JobResult &result)
+{
+    ++done_;
+    if (result.ok) {
+        std::fprintf(stderr, "[exec] %4zu/%zu ok   %-28s %9.1f ms (w%u)\n",
+                     done_, total_, result.label.c_str(), result.wallMs,
+                     result.worker);
+    } else {
+        std::fprintf(stderr,
+                     "[exec] %4zu/%zu FAIL %-28s %9.1f ms (w%u): %s\n",
+                     done_, total_, result.label.c_str(), result.wallMs,
+                     result.worker, result.error.c_str());
+    }
+}
+
+void
+ProgressSink::onRunEnd(const RunSummary &summary,
+                       const std::vector<JobResult> &results)
+{
+    std::fprintf(stderr,
+                 "[exec] done: %zu job(s), %zu failed, %.1f ms wall, "
+                 "%.1f ms cpu, %.0f%% pool utilization (%u worker(s))\n",
+                 summary.totalJobs, summary.failedJobs, summary.wallMs,
+                 summary.cpuMs, 100.0 * summary.utilization,
+                 summary.workers);
+    if (!summary.slowest.empty()) {
+        std::fprintf(stderr, "[exec] slowest:\n");
+        for (const std::size_t idx : summary.slowest)
+            std::fprintf(stderr, "[exec]   %9.1f ms  %s\n",
+                         results[idx].wallMs, results[idx].label.c_str());
+    }
+}
+
+JsonlSink::JsonlSink(std::string path) : path_(std::move(path))
+{
+}
+
+JsonlSink::~JsonlSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JsonlSink::onJobDone(const JobResult &result)
+{
+    if (!file_) {
+        file_ = std::fopen(path_.c_str(), "w");
+        if (!file_) {
+            warn("JsonlSink: cannot open '%s'; job records dropped",
+                 path_.c_str());
+            return;
+        }
+    }
+    const core::RunMetrics &m = result.metrics;
+    std::fprintf(
+        file_,
+        "{\"job\":%zu,\"label\":\"%s\",\"ok\":%s,\"worker\":%u,"
+        "\"wall_ms\":%.3f,\"cycles\":%llu,\"instructions\":%llu,"
+        "\"ipc\":%.6f,\"error\":\"%s\"}\n",
+        result.index, jsonEscape(result.label).c_str(),
+        result.ok ? "true" : "false", result.worker, result.wallMs,
+        static_cast<unsigned long long>(m.cycles),
+        static_cast<unsigned long long>(m.instructions), m.ipc,
+        jsonEscape(result.error).c_str());
+    std::fflush(file_);
+}
+
+void
+JsonlSink::onRunEnd(const RunSummary &summary,
+                    const std::vector<JobResult> &results)
+{
+    (void)results;
+    if (!file_)
+        return;
+    std::fprintf(file_,
+                 "{\"summary\":true,\"jobs\":%zu,\"failed\":%zu,"
+                 "\"workers\":%u,\"wall_ms\":%.3f,\"cpu_ms\":%.3f,"
+                 "\"utilization\":%.4f}\n",
+                 summary.totalJobs, summary.failedJobs, summary.workers,
+                 summary.wallMs, summary.cpuMs, summary.utilization);
+    std::fflush(file_);
+}
+
+} // namespace dcl1::exec

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Run observability: pluggable sinks fed by the JobRunner.
+ *
+ * Sinks observe job lifecycle events as they happen (completion
+ * order!) and the end-of-run summary. The runner serializes all sink
+ * calls under one mutex, so implementations need no locking of their
+ * own; they must not block for long (they run inside worker threads).
+ */
+
+#ifndef DCL1_EXEC_RESULT_SINK_HH
+#define DCL1_EXEC_RESULT_SINK_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/job.hh"
+
+namespace dcl1::exec
+{
+
+/** Aggregate batch statistics reported once at the end of a run. */
+struct RunSummary
+{
+    std::size_t totalJobs = 0;
+    std::size_t failedJobs = 0;
+    unsigned workers = 0;
+    double wallMs = 0.0; ///< whole-batch host wall time
+    double cpuMs = 0.0;  ///< sum of per-job wall times
+    /** cpuMs / (wallMs * workers): 1.0 = perfectly busy pool. */
+    double utilization = 0.0;
+    /** Job indices sorted by descending wall time (at most five). */
+    std::vector<std::size_t> slowest;
+};
+
+/** Lifecycle observer; default implementation ignores everything. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Batch is about to start. */
+    virtual void onRunStart(std::size_t num_jobs, unsigned workers)
+    {
+        (void)num_jobs;
+        (void)workers;
+    }
+
+    /** A worker picked up job @p index. */
+    virtual void onJobStart(std::size_t index, const std::string &label,
+                            unsigned worker)
+    {
+        (void)index;
+        (void)label;
+        (void)worker;
+    }
+
+    /** Job finished (ok or failed); called in completion order. */
+    virtual void onJobDone(const JobResult &result) { (void)result; }
+
+    /** Batch finished; @p results is ordered by job index. */
+    virtual void onRunEnd(const RunSummary &summary,
+                          const std::vector<JobResult> &results)
+    {
+        (void)summary;
+        (void)results;
+    }
+};
+
+/**
+ * Human progress on stderr: a "[exec] 17/140 ok ..." line per finished
+ * job plus an end-of-run summary with the slowest jobs and the pool
+ * utilization.
+ */
+class ProgressSink : public ResultSink
+{
+  public:
+    void onRunStart(std::size_t num_jobs, unsigned workers) override;
+    void onJobDone(const JobResult &result) override;
+    void onRunEnd(const RunSummary &summary,
+                  const std::vector<JobResult> &results) override;
+
+  private:
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+};
+
+/**
+ * Machine-readable per-job records: one JSON object per line, written
+ * in completion order (each record carries its job index), plus a
+ * final summary record. Opened lazily, flushed per record so a killed
+ * sweep still leaves a usable log.
+ */
+class JsonlSink : public ResultSink
+{
+  public:
+    explicit JsonlSink(std::string path);
+    ~JsonlSink() override;
+
+    void onJobDone(const JobResult &result) override;
+    void onRunEnd(const RunSummary &summary,
+                  const std::vector<JobResult> &results) override;
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+/** Escape a string for embedding in a JSON double-quoted literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_RESULT_SINK_HH

@@ -7,7 +7,7 @@
 namespace dcl1::mem
 {
 
-bool gFetchLeakCheck = false;
+thread_local bool gFetchLeakCheck = false;
 
 MemRequest::~MemRequest()
 {

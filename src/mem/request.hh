@@ -29,8 +29,10 @@ enum class MemOp : std::uint8_t
 };
 
 /** Debug: when true, destroying a request that is still a registered
- *  MSHR fetch aborts (it would leak the MSHR entry forever). */
-extern bool gFetchLeakCheck;
+ *  MSHR fetch aborts (it would leak the MSHR entry forever).
+ *  Thread-local: GpuSystem::run arms it for its own cycle loop only,
+ *  and concurrent simulations on other threads must not observe it. */
+extern thread_local bool gFetchLeakCheck;
 
 /** A single memory transaction. */
 struct MemRequest

@@ -17,11 +17,22 @@ TEST(Experiment, GeoMean)
     EXPECT_DOUBLE_EQ(geoMean({4.0}), 4.0);
     EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
     EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    // Tiny-but-positive values are fine (log-domain accumulation).
+    EXPECT_NEAR(geoMean({1e-300, 1e300}), 1.0, 1e-9);
+}
+
+TEST(Experiment, GeoMeanRejectsNonPositive)
+{
+    EXPECT_EXIT(geoMean({1.0, 0.0}), ::testing::ExitedWithCode(1),
+                "requires positive values");
+    EXPECT_EXIT(geoMean({2.0, -3.0}), ::testing::ExitedWithCode(1),
+                "requires positive values");
 }
 
 TEST(Experiment, Mean)
 {
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
 }
 
@@ -48,8 +59,52 @@ TEST(Experiment, BadEnvIsFatal)
 {
     setenv("DCL1_CYCLES", "-5", 1);
     EXPECT_EXIT(ExperimentOptions::fromEnv(),
-                ::testing::ExitedWithCode(1), "must be positive");
+                ::testing::ExitedWithCode(1), "out of range");
     unsetenv("DCL1_CYCLES");
+}
+
+TEST(Experiment, EnvStrictParsing)
+{
+    // Zero measured cycles makes no experiment at all.
+    setenv("DCL1_CYCLES", "0", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "out of range");
+
+    // Trailing garbage must not silently truncate ("30k" != 30).
+    setenv("DCL1_CYCLES", "30k", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+
+    setenv("DCL1_CYCLES", "1e6", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+
+    // Entirely non-numeric.
+    setenv("DCL1_CYCLES", "lots", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "is not a number");
+
+    // Empty string is not a usable default.
+    setenv("DCL1_CYCLES", "", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "empty value");
+
+    // Overflow.
+    setenv("DCL1_CYCLES", "99999999999999999999999", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "does not fit");
+    unsetenv("DCL1_CYCLES");
+
+    // Warmup may be zero, but not negative or garbage.
+    setenv("DCL1_WARMUP", "0", 1);
+    EXPECT_EQ(ExperimentOptions::fromEnv().warmupCycles, 0u);
+    setenv("DCL1_WARMUP", "-1", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "out of range");
+    setenv("DCL1_WARMUP", "12abc", 1);
+    EXPECT_EXIT(ExperimentOptions::fromEnv(),
+                ::testing::ExitedWithCode(1), "trailing garbage");
+    unsetenv("DCL1_WARMUP");
 }
 
 } // anonymous namespace

@@ -20,17 +20,27 @@
  *   --seed=N          workload seed
  *   --stats=FILE      dump the full statistics tree ('-' = stdout)
  *   --drain           drain in-flight traffic after the run and report
+ *   --budget=N        fail the run after N simulated cycles (watchdog)
+ *   --jsonl=FILE      append a JSON run record (timing, outcome)
+ *
+ * The simulation executes as a single job of the src/exec engine: a
+ * panic inside the model is reported as a failed run (exit 2) with
+ * its message instead of aborting, host wall time is measured, and
+ * the optional cycle-budget watchdog bounds a runaway configuration.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "core/experiment.hh"
 #include "core/gpu_system.hh"
+#include "exec/job_runner.hh"
 #include "workload/app_catalog.hh"
 #include "workload/trace_file.hh"
 
@@ -52,6 +62,8 @@ struct Options
     std::uint32_t slices = 32;
     std::uint32_t channels = 16;
     std::uint64_t seed = 1;
+    dcl1::Cycle budget = 0;
+    std::string jsonlFile;
     bool drain = false;
     bool listApps = false;
     bool listDesigns = false;
@@ -92,6 +104,12 @@ parseArgs(int argc, char **argv)
             o.channels = std::strtoul(v->c_str(), nullptr, 10);
         else if (auto v = valueOf(a, "--seed"))
             o.seed = std::strtoull(v->c_str(), nullptr, 10);
+        else if (auto v = valueOf(a, "--budget"))
+            o.budget = static_cast<Cycle>(parseEnvInt(
+                "--budget", v->c_str(), 1,
+                std::numeric_limits<std::int64_t>::max()));
+        else if (auto v = valueOf(a, "--jsonl"))
+            o.jsonlFile = *v;
         else if (std::strcmp(a, "--drain") == 0)
             o.drain = true;
         else if (std::strcmp(a, "--list-apps") == 0)
@@ -157,8 +175,36 @@ main(int argc, char **argv)
         gpu = std::make_unique<core::GpuSystem>(sys, design, app.params);
     }
 
-    gpu->run(o.cycles, o.warmup);
-    const core::RunMetrics rm = gpu->metrics();
+    // One job on the execution engine (inline on this thread, so
+    // drain/stats below stay on the thread that built the machine):
+    // faults become a reported failure, and the record carries host
+    // wall time.
+    exec::ExecOptions eopts;
+    eopts.jobs = 1;
+    eopts.cycleBudget = o.budget;
+    exec::JobRunner runner(eopts);
+    std::unique_ptr<exec::JsonlSink> jsonl;
+    if (!o.jsonlFile.empty()) {
+        jsonl = std::make_unique<exec::JsonlSink>(o.jsonlFile);
+        runner.addSink(jsonl.get());
+    }
+    std::vector<exec::JobSpec> specs(1);
+    specs[0].label =
+        design.name + "/" + (o.trace.empty() ? o.app : o.trace);
+    specs[0].fn = [&](exec::JobContext &ctx) {
+        core::GpuSystem::CycleHeartbeat heartbeat;
+        if (ctx.cycleBudget() != 0)
+            heartbeat = [&ctx](Cycle now) { ctx.checkCycleBudget(now); };
+        gpu->run(o.cycles, o.warmup, heartbeat);
+        return gpu->metrics();
+    };
+    const std::vector<exec::JobResult> results = runner.run(specs);
+    if (!results[0].ok) {
+        std::fprintf(stderr, "dcl1run: simulation failed: %s\n",
+                     results[0].error.c_str());
+        return 2;
+    }
+    const core::RunMetrics &rm = results[0].metrics;
 
     std::printf("design     %s\n", design.name.c_str());
     std::printf("platform   %s\n", sys.summary().c_str());
@@ -178,6 +224,9 @@ main(int argc, char **argv)
     std::printf("DRAM       %llu reads, %llu writes\n",
                 static_cast<unsigned long long>(rm.dramReads),
                 static_cast<unsigned long long>(rm.dramWrites));
+    // Host timing is observability, not simulation output: stderr, so
+    // same-seed stdout stays byte-identical across runs.
+    std::fprintf(stderr, "host time  %.1f ms\n", results[0].wallMs);
 
     if (o.drain) {
         const bool ok = gpu->drain();

@@ -1,25 +1,42 @@
 /**
  * @file
- * dcl1sweep — grid runner emitting CSV for external analysis/plotting.
+ * dcl1sweep — parallel grid runner emitting CSV for external
+ * analysis/plotting.
  *
  *   dcl1sweep --designs=Baseline,Pr40,Sh40+C10+Boost \
- *             --apps=T-AlexNet,C-BFS --out=results.csv
+ *             --apps=T-AlexNet,C-BFS --out=results.csv --jobs=8
  *
  * Omitting --apps sweeps the whole 28-app catalog; omitting --designs
  * sweeps the paper's main five. Columns: design, app, ipc, speedup,
  * l1_missrate, repl_ratio, avg_replicas, read_rtt, noc1_flits,
  * noc2_flits, dram_reads.
+ *
+ * The grid runs on the src/exec engine: independent cells execute
+ * concurrently (--jobs=N or DCL1_JOBS; default one worker per
+ * hardware thread), each app's Baseline run is simulated once and
+ * reused as the speedup denominator (and as the Baseline row when
+ * Baseline is listed in --designs), and rows are written in grid
+ * order after the batch — CSV output is byte-identical for any
+ * --jobs value. A job that panics or exceeds --budget becomes a
+ * failed-job record (its row is skipped, the exit status is 3) while
+ * the rest of the sweep completes. --jsonl=FILE (or DCL1_JOBS_LOG)
+ * records per-job wall time and outcome.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "core/experiment.hh"
+#include "exec/job_runner.hh"
+#include "exec/job_set.hh"
 #include "workload/app_catalog.hh"
 
 using namespace dcl1;
@@ -48,6 +65,7 @@ main(int argc, char **argv)
         "Baseline", "Pr40", "Sh40", "Sh40+C10", "Sh40+C10+Boost"};
     std::vector<std::string> app_names;
     std::string out_path = "-";
+    exec::ExecOptions eopts = exec::ExecOptions::fromEnv();
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -57,6 +75,15 @@ main(int argc, char **argv)
             app_names = splitCsv(a.substr(7));
         else if (a.rfind("--out=", 0) == 0)
             out_path = a.substr(6);
+        else if (a.rfind("--jobs=", 0) == 0)
+            eopts.jobs = static_cast<unsigned>(parseEnvInt(
+                "--jobs", a.substr(7).c_str(), 1, 4096));
+        else if (a.rfind("--budget=", 0) == 0)
+            eopts.cycleBudget = static_cast<Cycle>(parseEnvInt(
+                "--budget", a.substr(9).c_str(), 1,
+                std::numeric_limits<std::int64_t>::max()));
+        else if (a.rfind("--jsonl=", 0) == 0)
+            eopts.jsonlPath = a.substr(8);
         else
             fatal("unknown option '%s'", a.c_str());
     }
@@ -78,26 +105,67 @@ main(int argc, char **argv)
     core::SystemConfig sys;
     const auto opts = core::ExperimentOptions::fromEnv();
 
-    *os << "design,app,ipc,speedup,l1_missrate,repl_ratio,avg_replicas,"
-           "read_rtt,noc1_flits,noc2_flits,dram_reads\n";
+    // Declare the grid. Memoization makes the per-app Baseline run and
+    // a "Baseline" entry in --designs the same job.
+    exec::JobSet set;
+    struct Row
+    {
+        std::size_t jobIndex;
+        std::size_t baseIndex;
+        std::string design;
+        std::string app;
+    };
+    std::vector<Row> rows;
     for (const auto &app_name : app_names) {
         const auto &app = workload::appByName(app_name);
-        const double base_ipc =
-            core::runOnce(sys, core::baselineDesign(), app.params, opts)
-                .ipc;
+        const std::size_t base_index = set.addCell(
+            sys, core::baselineDesign(), app.params, opts);
         for (const auto &dn : design_names) {
             const auto design = core::designByName(dn);
-            std::fprintf(stderr, "[sweep] %-18s %s\n", dn.c_str(),
-                         app_name.c_str());
-            const auto rm =
-                core::runOnce(sys, design, app.params, opts);
-            *os << dn << ',' << app_name << ',' << rm.ipc << ','
-                << (base_ipc > 0 ? rm.ipc / base_ipc : 0.0) << ','
-                << rm.l1MissRate << ',' << rm.replicationRatio << ','
-                << rm.avgReplicas << ',' << rm.avgReadLatency << ','
-                << rm.noc1Flits << ',' << rm.noc2Flits << ','
-                << rm.dramReads << '\n';
+            const std::size_t index =
+                set.addCell(sys, design, app.params, opts);
+            rows.push_back({index, base_index, dn, app_name});
         }
+    }
+
+    exec::JobRunner runner(eopts);
+    exec::ProgressSink progress;
+    if (eopts.progress)
+        runner.addSink(&progress);
+    std::unique_ptr<exec::JsonlSink> jsonl;
+    if (!eopts.jsonlPath.empty()) {
+        jsonl = std::make_unique<exec::JsonlSink>(eopts.jsonlPath);
+        runner.addSink(jsonl.get());
+    }
+    const std::vector<exec::JobResult> results = runner.run(set.specs());
+
+    // Emit rows in grid order: output is independent of completion
+    // order and therefore of --jobs.
+    std::size_t failed = 0;
+    *os << "design,app,ipc,speedup,l1_missrate,repl_ratio,avg_replicas,"
+           "read_rtt,noc1_flits,noc2_flits,dram_reads\n";
+    for (const Row &row : rows) {
+        const exec::JobResult &r = results[row.jobIndex];
+        const exec::JobResult &base = results[row.baseIndex];
+        if (!r.ok || !base.ok) {
+            ++failed;
+            std::fprintf(stderr, "[sweep] dropping row %s,%s: %s\n",
+                         row.design.c_str(), row.app.c_str(),
+                         (!r.ok ? r.error : base.error).c_str());
+            continue;
+        }
+        const core::RunMetrics &rm = r.metrics;
+        const double base_ipc = base.metrics.ipc;
+        *os << row.design << ',' << row.app << ',' << rm.ipc << ','
+            << (base_ipc > 0 ? rm.ipc / base_ipc : 0.0) << ','
+            << rm.l1MissRate << ',' << rm.replicationRatio << ','
+            << rm.avgReplicas << ',' << rm.avgReadLatency << ','
+            << rm.noc1Flits << ',' << rm.noc2Flits << ','
+            << rm.dramReads << '\n';
+    }
+    if (failed) {
+        std::fprintf(stderr, "[sweep] %zu row(s) dropped\n", failed);
+        return 3;
     }
     return 0;
 }
