@@ -8,8 +8,10 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "exec/atomic_file.hh"
 #include "exec/job_runner.hh"
 #include "exec/job_set.hh"
+#include "exec/run_manifest.hh"
 
 namespace dcl1::bench
 {
@@ -110,6 +112,16 @@ std::vector<exec::JobResult>
 runJobSet(const exec::JobSet &set)
 {
     exec::JobRunner runner(exec::ExecOptions::fromEnv());
+    // DCL1_RUN_DIR makes bench batches durable: completed cells are
+    // skipped on a re-run. One directory serves *all* benches — the
+    // manifest identity is just the build signature; individual cells
+    // are told apart by their durable (design, app, opts, platform,
+    // seed) keys.
+    std::unique_ptr<exec::RunManifest> manifest;
+    if (const char *dir = std::getenv("DCL1_RUN_DIR")) {
+        manifest = exec::RunManifest::openOrCreate(dir, "bench");
+        runner.attachManifest(manifest.get());
+    }
     exec::ProgressSink progress;
     runner.addSink(&progress);
     std::unique_ptr<exec::JsonlSink> jsonl;
@@ -214,7 +226,10 @@ Harness::saveCache() const
 {
     if (cacheFile_.empty())
         return;
-    std::ofstream out(cacheFile_);
+    // Atomic publish: a bench killed mid-save must not truncate the
+    // accumulated result cache (possibly hours of simulation).
+    exec::AtomicFileWriter writer(cacheFile_);
+    std::ostream &out = writer.stream();
     for (const auto &[key, rm] : results_) {
         out << key << '\t' << rm.cycles << ' ' << rm.instructions << ' '
             << rm.ipc << ' ' << rm.l1Accesses << ' ' << rm.l1Misses
@@ -226,6 +241,7 @@ Harness::saveCache() const
             << rm.l2Misses << ' ' << rm.dramReads << ' '
             << rm.dramWrites << '\n';
     }
+    writer.commit();
 }
 
 void

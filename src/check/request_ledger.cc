@@ -72,6 +72,19 @@ RequestLedger::instance()
 }
 
 void
+RequestLedger::record(std::uint8_t kind, std::uint64_t seq,
+                      std::uint64_t addr, ReqStage from, ReqStage to)
+{
+    Event &e = events_[eventCount_ % kEventRing];
+    e.seq = seq;
+    e.addr = addr;
+    e.from = from;
+    e.to = to;
+    e.kind = kind;
+    ++eventCount_;
+}
+
+void
 RequestLedger::onCreate(mem::MemRequest &req, Cycle now, ReqStage stage)
 {
     if (!enabled_)
@@ -85,6 +98,7 @@ RequestLedger::onCreate(mem::MemRequest &req, Cycle now, ReqStage stage)
     e.stage = stage;
     e.createdAt = now;
     entries_.emplace(req.chkSeq, e);
+    record(0, req.chkSeq, req.addr, stage, stage);
 }
 
 void
@@ -105,6 +119,7 @@ RequestLedger::onTransition(const mem::MemRequest &req, ReqStage to)
               static_cast<unsigned long long>(req.chkSeq),
               static_cast<unsigned long long>(req.addr), req.core,
               req.isReply ? "reply" : "request");
+    record(1, req.chkSeq, req.addr, e.stage, to);
     e.stage = to;
     ++e.hops;
     ++transitions_;
@@ -134,6 +149,7 @@ RequestLedger::onRetire(const mem::MemRequest &req)
               "(request %llu, addr %llx)",
               stageName(from), static_cast<unsigned long long>(req.chkSeq),
               static_cast<unsigned long long>(req.addr));
+    record(2, req.chkSeq, req.addr, from, ReqStage::Retired);
     it->second.stage = ReqStage::Retired;
     ++retiredCount_;
 }
@@ -188,10 +204,33 @@ RequestLedger::audit(const char *where) const
     }
 }
 
+std::string
+RequestLedger::recentEventsJson() const
+{
+    static const char *const kind_names[] = {"create", "transition",
+                                             "retire"};
+    std::string out = "[";
+    const std::uint64_t count =
+        eventCount_ < kEventRing ? eventCount_ : kEventRing;
+    const std::uint64_t first = eventCount_ - count;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const Event &e = events_[(first + i) % kEventRing];
+        out += csprintf(
+            "%s{\"seq\":%llu,\"ev\":\"%s\",\"from\":\"%s\","
+            "\"to\":\"%s\",\"addr\":\"0x%llx\"}",
+            i == 0 ? "" : ",", static_cast<unsigned long long>(e.seq),
+            kind_names[e.kind], stageName(e.from), stageName(e.to),
+            static_cast<unsigned long long>(e.addr));
+    }
+    out += "]";
+    return out;
+}
+
 void
 RequestLedger::clear()
 {
     entries_.clear();
+    eventCount_ = 0;
 }
 
 } // namespace dcl1::check

@@ -30,8 +30,10 @@
 #ifndef DCL1_CHECK_REQUEST_LEDGER_HH
 #define DCL1_CHECK_REQUEST_LEDGER_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "check/check.hh"
@@ -118,6 +120,19 @@ class RequestLedger
     std::uint64_t transitions() const { return transitions_; }
     /// @}
 
+    /** Events kept in the forensic ring (see recentEventsJson). */
+    static constexpr std::size_t kEventRing = 32;
+
+    /**
+     * The last kEventRing lifecycle events (create / transition /
+     * retire) as a JSON array, oldest first. Crash records embed this
+     * so a post-mortem shows what the machine was doing right before
+     * it died. Cheap to maintain (fixed ring, no allocation per
+     * event); building the JSON allocates and is for failure paths
+     * only.
+     */
+    std::string recentEventsJson() const;
+
   private:
     struct Entry
     {
@@ -125,6 +140,19 @@ class RequestLedger
         Cycle createdAt = 0;
         std::uint32_t hops = 0;
     };
+
+    /** One ring slot: a lifecycle event for the crash-forensics tail. */
+    struct Event
+    {
+        std::uint64_t seq = 0;
+        std::uint64_t addr = 0;
+        ReqStage from = ReqStage::Issued;
+        ReqStage to = ReqStage::Issued;
+        std::uint8_t kind = 0; ///< 0 create, 1 transition, 2 retire
+    };
+
+    void record(std::uint8_t kind, std::uint64_t seq, std::uint64_t addr,
+                ReqStage from, ReqStage to);
 
     bool enabled_ = DCL1_CHECK_ENABLED != 0;
     bool strictDestroy_ = false;
@@ -134,6 +162,8 @@ class RequestLedger
     std::uint64_t transitions_ = 0;
     // Keyed lookups only; never iterated on a ticked path.
     std::unordered_map<std::uint64_t, Entry> entries_;
+    std::array<Event, kEventRing> events_{};
+    std::uint64_t eventCount_ = 0;
 };
 
 /** Shorthand for RequestLedger::instance(). */

@@ -20,10 +20,72 @@ SystemConfig::summary() const
 }
 
 void
+SystemConfig::validate() const
+{
+    if (numCores == 0 || numL2Slices == 0 || numChannels == 0)
+        fatal("platform: cores/L2 slices/DRAM channels must be nonzero "
+              "(%u/%u/%u) — every crossbar would be zero-width",
+              numCores, numL2Slices, numChannels);
+    if (!isPowerOf2(lineBytes))
+        fatal("platform: line size %uB is not a power of two",
+              lineBytes);
+    if (flitBytes == 0 || lineBytes % flitBytes != 0)
+        fatal("platform: %uB flits do not divide %uB lines — a line "
+              "could not be serialized into whole flits",
+              flitBytes, lineBytes);
+    if (chunkBytes == 0 || chunkBytes % lineBytes != 0)
+        fatal("platform: %uB address-interleave chunks are not a "
+              "multiple of %uB lines", chunkBytes, lineBytes);
+
+    struct CacheGeom
+    {
+        const char *level;
+        std::uint32_t sizeBytes, assoc, mshrs, targets;
+    };
+    for (const CacheGeom &c :
+         {CacheGeom{"L1", l1SizeBytes, l1Assoc, l1Mshrs,
+                    l1TargetsPerMshr},
+          CacheGeom{"L2", l2SliceSizeBytes, l2Assoc, l2Mshrs,
+                    l2TargetsPerMshr}}) {
+        if (c.assoc == 0)
+            fatal("platform: %s associativity is zero", c.level);
+        const std::uint32_t sets = c.sizeBytes / (lineBytes * c.assoc);
+        if (sets == 0)
+            fatal("platform: %s geometry %uB/%u-way/%uB lines yields "
+                  "zero sets", c.level, c.sizeBytes, c.assoc, lineBytes);
+        if (!isPowerOf2(sets))
+            fatal("platform: %s geometry %uB/%u-way/%uB lines yields "
+                  "%u sets (not a power of two)",
+                  c.level, c.sizeBytes, c.assoc, lineBytes, sets);
+        if (c.mshrs == 0 || c.targets == 0)
+            fatal("platform: %s MSHR geometry %u x %u targets must be "
+                  "nonzero", c.level, c.mshrs, c.targets);
+    }
+
+    if (nocClockRatio <= 0.0)
+        fatal("platform: NoC clock ratio %.3f must be positive",
+              nocClockRatio);
+    if (nodeQueueCap == 0)
+        fatal("platform: DC-L1 node queue capacity is zero — every "
+              "request path would be permanently blocked");
+}
+
+void
 DesignConfig::validate(const SystemConfig &sys) const
 {
+    if (noc1ClockRatio <= 0.0 || noc2ClockRatio <= 0.0)
+        fatal("design %s: NoC clock ratios must be positive (%.3f/%.3f)",
+              name.c_str(), noc1ClockRatio, noc2ClockRatio);
+    if (l1CapacityScale <= 0.0)
+        fatal("design %s: L1 capacity scale %.3f must be positive",
+              name.c_str(), l1CapacityScale);
     if (topology != Topology::DcL1) {
         if (topology == Topology::CdXbar) {
+            if (cdxClusters == 0 || cdxTrunksPerCluster == 0)
+                fatal("design %s: CdXbar clusters/trunks must be "
+                      "nonzero (%u/%u) — the hierarchical crossbar "
+                      "would be zero-width",
+                      name.c_str(), cdxClusters, cdxTrunksPerCluster);
             if (sys.numCores % cdxClusters != 0)
                 fatal("design %s: %u cores not divisible by %u CdXbar "
                       "clusters", name.c_str(), sys.numCores, cdxClusters);

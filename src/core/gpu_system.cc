@@ -16,6 +16,7 @@ GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
     : sys_(sys), design_(design),
       addrMap_(sys.numL2Slices, sys.numChannels, sys.chunkBytes)
 {
+    sys_.validate();
     design_.validate(sys_);
     buildCommon(app, std::move(source));
     switch (design_.topology) {

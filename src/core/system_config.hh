@@ -86,6 +86,18 @@ struct SystemConfig
         return cfg;
     }
 
+    /**
+     * Front-door validation: fatal() on a platform no machine can be
+     * built from — zero cores/slices/channels, zero cache ways or
+     * sets, a non-power-of-two set count (cache geometry the paper's
+     * designs scale by doubling/halving; rejecting the remainder-y
+     * cases keeps capacity-scaled DC-L1s exact),
+     * flits that do not divide a line, or zero-depth queues/MSHRs.
+     * GpuSystem runs this at construction; grid builders run it when
+     * a cell is added so a bad sweep axis dies before any job runs.
+     */
+    void validate() const;
+
     /** Human-readable one-line summary. */
     std::string summary() const;
 };

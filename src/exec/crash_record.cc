@@ -1,0 +1,141 @@
+#include "exec/crash_record.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "check/request_ledger.hh"
+#include "common/log.hh"
+#include "core/gpu_system.hh"
+#include "exec/atomic_file.hh"
+#include "exec/result_sink.hh"
+#include "exec/run_manifest.hh"
+
+namespace dcl1::exec
+{
+
+std::string
+crashSnapshotJson(core::GpuSystem &gpu)
+{
+    std::string state = csprintf(
+        "\"state\":{\"cycle\":%llu",
+        static_cast<unsigned long long>(gpu.cycle()));
+
+    // DC-L1 node queue depths (Q1..Q4): the first thing to look at
+    // for a deadlock or backpressure bug.
+    if (!gpu.nodes().empty()) {
+        state += ",\"nodes\":[";
+        for (std::size_t i = 0; i < gpu.nodes().size(); ++i) {
+            const auto &node = *gpu.nodes()[i];
+            state += csprintf(
+                "%s{\"q1\":%zu,\"q2\":%zu,\"q3\":%zu,\"q4\":%zu}",
+                i == 0 ? "" : ",", node.q1Size(), node.q2Size(),
+                node.q3Size(), node.q4Size());
+        }
+        state += "]";
+    }
+
+    state += ",\"dram\":[";
+    for (std::size_t i = 0; i < gpu.channels().size(); ++i) {
+        const auto &ch = *gpu.channels()[i];
+        state += csprintf("%s{\"queued\":%zu,\"in_service\":%zu}",
+                          i == 0 ? "" : ",", ch.queueSize(),
+                          ch.inServiceSize());
+    }
+    state += "]}";
+
+    // Request-ledger tail (DCL1_CHECK builds): the last lifecycle
+    // events before death, straight from the auditing machinery.
+    if (check::checksCompiledIn && check::ledger().enabled()) {
+        state += csprintf(",\"ledger\":{\"live\":%zu,\"registered\":"
+                          "%llu,\"retired\":%llu,\"recent\":%s}",
+                          check::ledger().liveCount(),
+                          static_cast<unsigned long long>(
+                              check::ledger().registered()),
+                          static_cast<unsigned long long>(
+                              check::ledger().retired()),
+                          check::ledger().recentEventsJson().c_str());
+    }
+    return state;
+}
+
+std::string
+crashRecordName(std::size_t index, const std::string &label)
+{
+    std::string safe;
+    for (const char c : label)
+        safe += (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '-' || c == '+' || c == '.')
+                    ? c
+                    : '_';
+    return csprintf("job%03zu-%s.json", index, safe.c_str());
+}
+
+void
+writeCrashRecord(const std::string &dir, const JobResult &result,
+                 const std::string &context)
+{
+    try {
+        ensureDirectory(dir);
+        AtomicFileWriter out(dir + "/" +
+                             crashRecordName(result.index, result.label));
+        out.stream() << "{"
+                     << csprintf(
+                            "\"job\":%zu,\"label\":\"%s\",\"kind\":"
+                            "\"%s\",\"attempts\":%u,\"quarantined\":%s,"
+                            "\"error\":\"%s\"",
+                            result.index,
+                            jsonEscape(result.label).c_str(),
+                            failureKindName(result.kind), result.attempts,
+                            result.quarantined ? "true" : "false",
+                            jsonEscape(result.error).c_str());
+        if (!context.empty())
+            out.stream() << "," << context;
+        out.stream() << "}\n";
+        out.commit();
+    } catch (const std::exception &e) {
+        // Forensics best-effort: never let a crash-record failure mask
+        // (or upgrade) the original job failure.
+        warn("crash record for job %zu not written: %s", result.index,
+             e.what());
+    }
+}
+
+CrashConfig
+loadCrashRecord(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open crash record '%s'", path.c_str());
+    std::string text;
+    for (std::string line; std::getline(in, line);) {
+        text += line;
+        text += '\n';
+    }
+
+    CrashConfig cfg;
+    const bool has_app = jsonFieldString(text, "app", cfg.app);
+    const bool has_trace = jsonFieldString(text, "trace", cfg.trace);
+    if (!jsonFieldString(text, "design", cfg.design) ||
+        (!has_app && !has_trace))
+        fatal("crash record '%s' carries no replayable config "
+              "(jobs must cooperate via JobContext::setCrashContext)",
+              path.c_str());
+    auto u64 = [&](const char *field, std::uint64_t fallback) {
+        const std::string raw = jsonFieldRaw(text, field);
+        return raw.empty() ? fallback
+                           : std::strtoull(raw.c_str(), nullptr, 10);
+    };
+    cfg.cores = static_cast<std::uint32_t>(u64("cores", cfg.cores));
+    cfg.slices = static_cast<std::uint32_t>(u64("slices", cfg.slices));
+    cfg.channels =
+        static_cast<std::uint32_t>(u64("channels", cfg.channels));
+    cfg.seed = u64("seed", cfg.seed);
+    cfg.measure = u64("measure", cfg.measure);
+    cfg.warmup = u64("warmup", cfg.warmup);
+    jsonFieldString(text, "label", cfg.label);
+    jsonFieldString(text, "error", cfg.error);
+    return cfg;
+}
+
+} // namespace dcl1::exec

@@ -1,0 +1,54 @@
+#include "exec/interrupt.hh"
+
+#include <csignal>
+
+namespace dcl1::exec
+{
+
+namespace
+{
+
+// Async-signal-safe state: the handler only touches this flag.
+volatile std::sig_atomic_t interrupt_flag = 0;
+
+extern "C" void
+sigintHandler(int signum)
+{
+    if (interrupt_flag) {
+        // Second Ctrl-C: the user means it. Restore the default
+        // disposition and re-raise so the process dies with the
+        // conventional SIGINT status.
+        std::signal(signum, SIG_DFL);
+        std::raise(signum);
+        return;
+    }
+    interrupt_flag = 1;
+}
+
+} // anonymous namespace
+
+void
+installSigintHandler()
+{
+    std::signal(SIGINT, sigintHandler);
+}
+
+void
+requestInterrupt()
+{
+    interrupt_flag = 1;
+}
+
+bool
+interruptRequested()
+{
+    return interrupt_flag != 0;
+}
+
+void
+clearInterrupt()
+{
+    interrupt_flag = 0;
+}
+
+} // namespace dcl1::exec

@@ -43,6 +43,30 @@ class CycleBudgetExceeded : public std::runtime_error
     }
 };
 
+/**
+ * Why a job failed; drives the retry-with-quarantine policy.
+ *
+ * Timeout (the cooperative cycle-budget watchdog fired) is the only
+ * kind the policy considers possibly-spurious: the job is retried up
+ * to ExecOptions::maxRetries times with an escalating budget.
+ * WorkerException (any C++ exception the model did not classify, e.g.
+ * bad_alloc under a loaded pool) is retried without escalation.
+ * SimBug (panic) and ConfigError (fatal) are *deterministic* — the
+ * simulator is a pure function of its configuration — so those jobs
+ * are quarantined immediately and never burn a retry.
+ */
+enum class FailureKind : std::uint8_t
+{
+    None,            ///< job succeeded
+    Timeout,         ///< cycle-budget watchdog fired (retryable)
+    SimBug,          ///< panic(): internal invariant violated
+    ConfigError,     ///< fatal(): impossible configuration
+    WorkerException, ///< unclassified C++ exception on the worker
+};
+
+/** Human-readable FailureKind name (stable; used in crash records). */
+const char *failureKindName(FailureKind kind);
+
 /** Engine-wide knobs. */
 struct ExecOptions
 {
@@ -57,6 +81,26 @@ struct ExecOptions
      */
     Cycle cycleBudget = 0;
 
+    /**
+     * Retries after the first failed attempt for *retryable* failures
+     * (Timeout, WorkerException). Timeouts escalate: attempt k runs
+     * with cycleBudget * budgetEscalation^k. Quarantined failures
+     * (SimBug/ConfigError) never retry.
+     */
+    unsigned maxRetries = 2;
+
+    /** Budget multiplier per timeout retry (>= 1). */
+    double budgetEscalation = 2.0;
+
+    /**
+     * When non-empty, every job that ends failed writes a structured
+     * crash record to "<crashDir>/<job>.json" (config, last cycle,
+     * queue depths, recent ledger events) — replayable with
+     * `dcl1run --replay-crash`. A durable run directory supplies its
+     * own "crash/" subdirectory when this is unset.
+     */
+    std::string crashDir;
+
     /** Emit per-job progress lines to stderr. */
     bool progress = true;
 
@@ -68,8 +112,9 @@ struct ExecOptions
 
     /**
      * Environment defaults: DCL1_JOBS (worker count), DCL1_JOB_BUDGET
-     * (per-job cycle budget), DCL1_JOBS_LOG (JSONL path). All strictly
-     * parsed.
+     * (per-job cycle budget), DCL1_RETRIES (retry count),
+     * DCL1_CRASH_DIR (crash-record directory), DCL1_JOBS_LOG (JSONL
+     * path). All strictly parsed.
      */
     static ExecOptions fromEnv();
 };
@@ -100,10 +145,25 @@ class JobContext
      */
     void checkCycleBudget(Cycle simulated_cycles) const;
 
+    /**
+     * Attach crash-diagnostic context: a JSON *fragment* (one or more
+     * `"field":value` members, no surrounding braces) describing the
+     * job's configuration and — when set from a failure path — the
+     * machine state at the moment of death. The engine embeds it in
+     * the crash record it writes for a job that ends failed.
+     */
+    void setCrashContext(std::string json_fragment)
+    {
+        crashContext_ = std::move(json_fragment);
+    }
+
+    const std::string &crashContext() const { return crashContext_; }
+
   private:
     std::size_t index_;
     unsigned worker_;
     Cycle cycleBudget_;
+    std::string crashContext_;
 };
 
 /** The work itself: runs on one worker thread, returns the metrics. */
@@ -114,6 +174,12 @@ struct JobSpec
 {
     std::string label; ///< "design/app" style display name
     JobFn fn;
+    /**
+     * Durable identity: (design, app, opts, platform, seed) key set by
+     * JobSet::addCell. A run manifest matches completed records by
+     * this key on resume; empty = the job is never resumed/recorded.
+     */
+    std::string key;
 };
 
 /** Outcome of one job; results are ordered by index, never by finish. */
@@ -121,8 +187,14 @@ struct JobResult
 {
     std::size_t index = 0;
     std::string label;
+    std::string key;          ///< durable identity (see JobSpec::key)
     bool ok = false;
     std::string error;        ///< captured panic/fatal/exception text
+    FailureKind kind = FailureKind::None; ///< failure classification
+    unsigned attempts = 0;    ///< executed attempts (0 = never ran)
+    bool quarantined = false; ///< deterministic failure; never retried
+    bool resumed = false;     ///< satisfied from a run manifest record
+    bool skipped = false;     ///< batch interrupted before it started
     core::RunMetrics metrics; ///< valid only when ok
     double wallMs = 0.0;      ///< host wall time of this job
     unsigned worker = 0;      ///< worker thread that executed it

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -10,6 +11,9 @@
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "exec/crash_record.hh"
+#include "exec/interrupt.hh"
+#include "exec/run_manifest.hh"
 
 namespace dcl1::exec
 {
@@ -60,6 +64,24 @@ struct WorkerDeque
 
 } // anonymous namespace
 
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::None:
+        return "none";
+      case FailureKind::Timeout:
+        return "timeout";
+      case FailureKind::SimBug:
+        return "sim-bug";
+      case FailureKind::ConfigError:
+        return "config-error";
+      case FailureKind::WorkerException:
+        return "worker-exception";
+    }
+    return "unknown";
+}
+
 unsigned
 ExecOptions::hardwareConcurrency()
 {
@@ -76,6 +98,10 @@ ExecOptions::fromEnv()
     opts.cycleBudget = static_cast<Cycle>(
         envIntOr("DCL1_JOB_BUDGET", 0, /*min_value=*/0,
                  std::numeric_limits<std::int64_t>::max()));
+    opts.maxRetries = static_cast<unsigned>(
+        envIntOr("DCL1_RETRIES", 2, /*min_value=*/0, /*max_value=*/100));
+    if (const char *dir = std::getenv("DCL1_CRASH_DIR"))
+        opts.crashDir = dir;
     if (const char *path = std::getenv("DCL1_JOBS_LOG"))
         opts.jsonlPath = path;
     return opts;
@@ -101,6 +127,12 @@ JobRunner::addSink(ResultSink *sink)
 {
     if (sink)
         sinks_.push_back(sink);
+}
+
+void
+JobRunner::attachManifest(RunManifest *manifest)
+{
+    manifest_ = manifest;
 }
 
 unsigned
@@ -131,8 +163,44 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     const HostClock::time_point batch_start = HostClock::now();
     for_sinks([&](ResultSink &s) { s.onRunStart(n, workers); });
 
-    // Executes one job with fault isolation; the only writer of
-    // results[index], so workers never touch the same element.
+    // Resume prefill: jobs whose key already carries a terminal record
+    // (ok or quarantined — retryable failures are never recorded) are
+    // satisfied from the manifest without simulating. Runs in index
+    // order on the calling thread, so resumed output is deterministic.
+    std::vector<char> pending(n, 1);
+    if (manifest_) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (specs[i].key.empty())
+                continue;
+            const JobRecord *rec = manifest_->find(specs[i].key);
+            if (!rec || (!rec->ok && !rec->quarantined))
+                continue;
+            JobResult r;
+            r.index = i;
+            r.label = specs[i].label;
+            r.key = specs[i].key;
+            r.ok = rec->ok;
+            r.error = rec->error;
+            r.kind = rec->kind;
+            r.attempts = rec->attempts;
+            r.quarantined = rec->quarantined;
+            r.resumed = true;
+            r.metrics = rec->metrics;
+            results[i] = std::move(r);
+            pending[i] = 0;
+            for_sinks([&](ResultSink &s) { s.onJobDone(results[i]); });
+        }
+    }
+
+    const std::string crash_dir =
+        !opts_.crashDir.empty()
+            ? opts_.crashDir
+            : (manifest_ ? manifest_->crashDir() : std::string());
+    std::mutex manifest_mutex;
+
+    // Executes one job with fault isolation and the retry-with-
+    // quarantine policy; the only writer of results[index], so workers
+    // never touch the same element.
     auto execute = [&](std::size_t index, unsigned worker) {
         const JobSpec &spec = specs[index];
         for_sinks([&](ResultSink &s) {
@@ -142,21 +210,80 @@ JobRunner::run(const std::vector<JobSpec> &specs)
         JobResult r;
         r.index = index;
         r.label = spec.label;
+        r.key = spec.key;
         r.worker = worker;
         const HostClock::time_point job_start = HostClock::now();
-        JobContext ctx(index, worker, opts_.cycleBudget);
-        try {
-            SimErrorTrap trap;
-            r.metrics = spec.fn(ctx);
-            r.ok = true;
-        } catch (const SimAbort &e) {
-            r.error = e.what();
-        } catch (const std::exception &e) {
-            r.error = e.what();
-        } catch (...) {
-            r.error = "unknown exception";
+
+        std::string crash_context;
+        unsigned timeouts = 0;
+        for (unsigned attempt = 0;; ++attempt) {
+            // Timeout escalation: a job that timed out k times re-runs
+            // with the budget scaled by escalation^k, so a near-miss
+            // gets headroom. Worker-exception retries keep the
+            // configured budget — the budget was not the problem.
+            Cycle budget = opts_.cycleBudget;
+            if (budget != 0 && timeouts > 0 &&
+                opts_.budgetEscalation > 1.0)
+                budget = static_cast<Cycle>(
+                    double(budget) *
+                    std::pow(opts_.budgetEscalation, double(timeouts)));
+
+            JobContext ctx(index, worker, budget);
+            r.kind = FailureKind::None;
+            r.error.clear();
+            try {
+                SimErrorTrap trap;
+                r.metrics = spec.fn(ctx);
+                r.ok = true;
+            } catch (const CycleBudgetExceeded &e) {
+                r.error = e.what();
+                r.kind = FailureKind::Timeout;
+            } catch (const SimAbort &e) {
+                r.error = e.what();
+                r.kind = e.isPanic ? FailureKind::SimBug
+                                   : FailureKind::ConfigError;
+            } catch (const std::exception &e) {
+                r.error = e.what();
+                r.kind = FailureKind::WorkerException;
+            } catch (...) {
+                r.error = "unknown exception";
+                r.kind = FailureKind::WorkerException;
+            }
+            r.attempts = attempt + 1;
+            if (!ctx.crashContext().empty())
+                crash_context = ctx.crashContext();
+            if (r.ok)
+                break;
+            if (r.kind == FailureKind::SimBug ||
+                r.kind == FailureKind::ConfigError) {
+                // Deterministic: the simulator is a pure function of
+                // its configuration, so a retry cannot change anything.
+                r.quarantined = true;
+                break;
+            }
+            if (attempt >= opts_.maxRetries)
+                break;
+            if (r.kind == FailureKind::Timeout)
+                ++timeouts;
         }
         r.wallMs = msSince(job_start);
+
+        if (!r.ok && !crash_dir.empty())
+            writeCrashRecord(crash_dir, r, crash_context);
+
+        if (manifest_ && !spec.key.empty() && (r.ok || r.quarantined)) {
+            JobRecord rec;
+            rec.key = spec.key;
+            rec.label = spec.label;
+            rec.ok = r.ok;
+            rec.quarantined = r.quarantined;
+            rec.attempts = r.attempts;
+            rec.kind = r.kind;
+            rec.error = r.error;
+            rec.metrics = r.metrics;
+            std::lock_guard<std::mutex> lock(manifest_mutex);
+            manifest_->append(rec);
+        }
 
         results[index] = std::move(r);
         for_sinks([&](ResultSink &s) { s.onJobDone(results[index]); });
@@ -165,18 +292,27 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     if (workers == 1) {
         // Inline serial mode: no threads, deterministic job order —
         // exactly the historical behavior of the serial tools.
-        for (std::size_t i = 0; i < n; ++i)
-            execute(i, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (interruptRequested())
+                break;
+            if (pending[i])
+                execute(i, 0);
+        }
     } else {
         std::vector<std::unique_ptr<WorkerDeque>> deques;
         for (unsigned w = 0; w < workers; ++w)
             deques.push_back(std::make_unique<WorkerDeque>());
         for (std::size_t i = 0; i < n; ++i)
-            deques[i % workers]->jobs.push_back(i);
+            if (pending[i])
+                deques[i % workers]->jobs.push_back(i);
 
         auto worker_loop = [&](unsigned w) {
             std::size_t index = 0;
             for (;;) {
+                // Cooperative SIGINT drain: the in-flight job finished
+                // (or never started); stop pulling new ones.
+                if (interruptRequested())
+                    return;
                 if (deques[w]->popFront(index)) {
                     execute(index, w);
                     continue;
@@ -198,16 +334,39 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             t.join();
     }
 
+    // Anything still pending after the pool drained was cut off by the
+    // interrupt: mark it skipped so consumers can tell "never ran"
+    // apart from "ran and failed".
+    const bool interrupted = interruptRequested();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!pending[i] || results[i].attempts > 0)
+            continue;
+        results[i].index = i;
+        results[i].label = specs[i].label;
+        results[i].key = specs[i].key;
+        results[i].skipped = true;
+    }
+
     RunSummary summary;
     summary.totalJobs = n;
     summary.workers = workers;
+    summary.interrupted = interrupted;
     summary.wallMs = msSince(batch_start);
     std::vector<std::size_t> by_time(n);
     for (std::size_t i = 0; i < n; ++i) {
         by_time[i] = i;
         summary.cpuMs += results[i].wallMs;
-        if (!results[i].ok)
+        if (results[i].skipped) {
+            ++summary.skippedJobs;
+            continue;
+        }
+        if (results[i].resumed)
+            ++summary.resumedJobs;
+        if (!results[i].ok) {
             ++summary.failedJobs;
+            if (results[i].quarantined)
+                ++summary.quarantinedJobs;
+        }
     }
     summary.utilization =
         summary.wallMs > 0.0
@@ -219,6 +378,9 @@ JobRunner::run(const std::vector<JobSpec> &specs)
               });
     by_time.resize(std::min<std::size_t>(n, 5));
     summary.slowest = std::move(by_time);
+
+    if (manifest_)
+        manifest_->finalize(interrupted ? "interrupted" : "complete");
 
     for_sinks([&](ResultSink &s) { s.onRunEnd(summary, results); });
     return results;

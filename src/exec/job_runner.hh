@@ -21,6 +21,26 @@
  * remaining jobs keep running. The cycle-budget watchdog
  * (ExecOptions::cycleBudget) fails runaway jobs the same way.
  *
+ * Retry with quarantine
+ * ---------------------
+ * A failed attempt is classified (FailureKind) before the engine
+ * decides what to do with it. Watchdog timeouts retry up to
+ * ExecOptions::maxRetries times with an escalating cycle budget;
+ * unclassified worker exceptions retry at the same budget; panic() and
+ * fatal() are deterministic — re-running an identical pure function
+ * cannot help — so those jobs are quarantined on the first attempt.
+ * Whatever the outcome, the batch completes with partial results.
+ *
+ * Durable runs
+ * ------------
+ * attachManifest() couples a batch to a RunManifest write-ahead log:
+ * jobs whose key already carries an ok/quarantined record are satisfied
+ * from the log without simulating (JobResult::resumed), and every newly
+ * finished ok/quarantined job is appended before the batch moves on.
+ * SIGINT (see exec/interrupt.hh) drains in-flight jobs, marks the rest
+ * skipped, and finalizes the manifest as "interrupted" so the same
+ * command line can resume later.
+ *
  * Determinism
  * -----------
  * Results are stored by job index. Every simulation is a pure function
@@ -40,6 +60,8 @@
 namespace dcl1::exec
 {
 
+class RunManifest;
+
 /** See file comment. */
 class JobRunner
 {
@@ -48,6 +70,14 @@ class JobRunner
 
     /** Attach an observer (not owned; must outlive run()). */
     void addSink(ResultSink *sink);
+
+    /**
+     * Couple the next run() to a durable-run manifest (not owned; must
+     * outlive run()). Completed records satisfy matching jobs without
+     * re-simulating; new completions are appended to the write-ahead
+     * log as they land; run() finalizes the manifest on the way out.
+     */
+    void attachManifest(RunManifest *manifest);
 
     /**
      * Execute every spec; blocks until all are done. Results are
@@ -64,6 +94,7 @@ class JobRunner
   private:
     ExecOptions opts_;
     std::vector<ResultSink *> sinks_;
+    RunManifest *manifest_ = nullptr;
 };
 
 } // namespace dcl1::exec

@@ -2,6 +2,8 @@
 
 #include "check/check.hh"
 #include "common/log.hh"
+#include "exec/crash_record.hh"
+#include "exec/result_sink.hh"
 
 namespace dcl1::exec
 {
@@ -9,6 +11,20 @@ namespace dcl1::exec
 core::RunMetrics
 runCell(const GridCell &cell, JobContext &ctx)
 {
+    // Crash-diagnostic cooperation: hand the engine a replayable
+    // description of this cell up front, so even a death during
+    // construction leaves a usable record.
+    const std::string config = csprintf(
+        "\"design\":\"%s\",\"app\":\"%s\",\"cores\":%u,\"slices\":%u,"
+        "\"channels\":%u,\"seed\":%llu,\"measure\":%llu,\"warmup\":%llu",
+        jsonEscape(cell.design.name).c_str(),
+        jsonEscape(cell.app.name).c_str(), cell.sys.numCores,
+        cell.sys.numL2Slices, cell.sys.numChannels,
+        static_cast<unsigned long long>(cell.sys.seed),
+        static_cast<unsigned long long>(cell.opts.measureCycles),
+        static_cast<unsigned long long>(cell.opts.warmupCycles));
+    ctx.setCrashContext(config);
+
     // Fail a mis-budgeted cell before paying for construction.
     if (ctx.cycleBudget() != 0)
         ctx.checkCycleBudget(cell.opts.warmupCycles +
@@ -18,10 +34,22 @@ runCell(const GridCell &cell, JobContext &ctx)
     core::GpuSystem::CycleHeartbeat heartbeat;
     if (ctx.cycleBudget() != 0)
         heartbeat = [&ctx](Cycle now) { ctx.checkCycleBudget(now); };
-    gpu.run(cell.opts.measureCycles, cell.opts.warmupCycles, heartbeat);
-    // Full audit at the end of the measured interval, exactly like
-    // core::runOnce; run() itself audits on a power-of-two cadence.
-    DCL1_CHECK_ONLY(gpu.checkInvariants("exec::runCell"));
+    try {
+        gpu.run(cell.opts.measureCycles, cell.opts.warmupCycles,
+                heartbeat);
+        // Full audit at the end of the measured interval, exactly like
+        // core::runOnce; run() itself audits on a power-of-two cadence.
+        DCL1_CHECK_ONLY(gpu.checkInvariants("exec::runCell"));
+    } catch (...) {
+        // The machine is still alive here: snapshot cycle, queue
+        // depths, and (DCL1_CHECK) recent ledger events into the
+        // crash context. Best-effort — never mask the real failure.
+        try {
+            ctx.setCrashContext(config + "," + crashSnapshotJson(gpu));
+        } catch (...) {
+        }
+        throw;
+    }
     return gpu.metrics();
 }
 
@@ -44,9 +72,15 @@ JobSet::addCell(const core::SystemConfig &sys,
     if (it != keyToIndex_.end())
         return it->second;
 
+    // Front-door validation: an impossible platform or design is a
+    // config error at grid-build time, not a mid-batch worker death.
+    sys.validate();
+    design.validate(sys);
+
     GridCell cell{sys, design, app, opts};
     JobSpec spec;
     spec.label = design.name + "/" + app.name;
+    spec.key = key;
     spec.fn = [cell = std::move(cell)](JobContext &ctx) {
         return runCell(cell, ctx);
     };

@@ -52,15 +52,23 @@ void
 ProgressSink::onJobDone(const JobResult &result)
 {
     ++done_;
-    if (result.ok) {
-        std::fprintf(stderr, "[exec] %4zu/%zu ok   %-28s %9.1f ms (w%u)\n",
+    if (result.resumed) {
+        std::fprintf(stderr, "[exec] %4zu/%zu skip %-28s (resumed%s)\n",
+                     done_, total_, result.label.c_str(),
+                     result.ok ? "" : ", quarantined");
+    } else if (result.ok) {
+        std::fprintf(stderr, "[exec] %4zu/%zu ok   %-28s %9.1f ms (w%u)%s\n",
                      done_, total_, result.label.c_str(), result.wallMs,
-                     result.worker);
+                     result.worker,
+                     result.attempts > 1 ? " [retried]" : "");
     } else {
         std::fprintf(stderr,
-                     "[exec] %4zu/%zu FAIL %-28s %9.1f ms (w%u): %s\n",
-                     done_, total_, result.label.c_str(), result.wallMs,
-                     result.worker, result.error.c_str());
+                     "[exec] %4zu/%zu %s %-28s %9.1f ms (w%u, %u "
+                     "attempt(s)): %s\n",
+                     done_, total_,
+                     result.quarantined ? "QUAR" : "FAIL",
+                     result.label.c_str(), result.wallMs, result.worker,
+                     result.attempts, result.error.c_str());
     }
 }
 
@@ -69,11 +77,18 @@ ProgressSink::onRunEnd(const RunSummary &summary,
                        const std::vector<JobResult> &results)
 {
     std::fprintf(stderr,
-                 "[exec] done: %zu job(s), %zu failed, %.1f ms wall, "
+                 "[exec] done: %zu job(s), %zu failed (%zu quarantined), "
+                 "%zu resumed, %.1f ms wall, "
                  "%.1f ms cpu, %.0f%% pool utilization (%u worker(s))\n",
-                 summary.totalJobs, summary.failedJobs, summary.wallMs,
-                 summary.cpuMs, 100.0 * summary.utilization,
-                 summary.workers);
+                 summary.totalJobs, summary.failedJobs,
+                 summary.quarantinedJobs, summary.resumedJobs,
+                 summary.wallMs, summary.cpuMs,
+                 100.0 * summary.utilization, summary.workers);
+    if (summary.interrupted)
+        std::fprintf(stderr,
+                     "[exec] INTERRUPTED: %zu job(s) never started; "
+                     "in-flight jobs were drained\n",
+                     summary.skippedJobs);
     if (!summary.slowest.empty()) {
         std::fprintf(stderr, "[exec] slowest:\n");
         for (const std::size_t idx : summary.slowest)
@@ -82,39 +97,29 @@ ProgressSink::onRunEnd(const RunSummary &summary,
     }
 }
 
-JsonlSink::JsonlSink(std::string path) : path_(std::move(path))
+JsonlSink::JsonlSink(std::string path) : log_(std::move(path))
 {
-}
-
-JsonlSink::~JsonlSink()
-{
-    if (file_)
-        std::fclose(file_);
 }
 
 void
 JsonlSink::onJobDone(const JobResult &result)
 {
-    if (!file_) {
-        file_ = std::fopen(path_.c_str(), "w");
-        if (!file_) {
-            warn("JsonlSink: cannot open '%s'; job records dropped",
-                 path_.c_str());
-            return;
-        }
-    }
+    if (result.skipped)
+        return;
     const core::RunMetrics &m = result.metrics;
-    std::fprintf(
-        file_,
-        "{\"job\":%zu,\"label\":\"%s\",\"ok\":%s,\"worker\":%u,"
+    log_.appendLine(csprintf(
+        "{\"job\":%zu,\"label\":\"%s\",\"ok\":%s,\"resumed\":%s,"
+        "\"quarantined\":%s,\"kind\":\"%s\",\"attempts\":%u,"
+        "\"worker\":%u,"
         "\"wall_ms\":%.3f,\"cycles\":%llu,\"instructions\":%llu,"
-        "\"ipc\":%.6f,\"error\":\"%s\"}\n",
+        "\"ipc\":%.6f,\"error\":\"%s\"}",
         result.index, jsonEscape(result.label).c_str(),
-        result.ok ? "true" : "false", result.worker, result.wallMs,
-        static_cast<unsigned long long>(m.cycles),
+        result.ok ? "true" : "false", result.resumed ? "true" : "false",
+        result.quarantined ? "true" : "false",
+        failureKindName(result.kind), result.attempts, result.worker,
+        result.wallMs, static_cast<unsigned long long>(m.cycles),
         static_cast<unsigned long long>(m.instructions), m.ipc,
-        jsonEscape(result.error).c_str());
-    std::fflush(file_);
+        jsonEscape(result.error).c_str()));
 }
 
 void
@@ -122,15 +127,16 @@ JsonlSink::onRunEnd(const RunSummary &summary,
                     const std::vector<JobResult> &results)
 {
     (void)results;
-    if (!file_)
-        return;
-    std::fprintf(file_,
-                 "{\"summary\":true,\"jobs\":%zu,\"failed\":%zu,"
-                 "\"workers\":%u,\"wall_ms\":%.3f,\"cpu_ms\":%.3f,"
-                 "\"utilization\":%.4f}\n",
-                 summary.totalJobs, summary.failedJobs, summary.workers,
-                 summary.wallMs, summary.cpuMs, summary.utilization);
-    std::fflush(file_);
+    log_.appendLine(csprintf(
+        "{\"summary\":true,\"jobs\":%zu,\"failed\":%zu,"
+        "\"quarantined\":%zu,\"resumed\":%zu,\"skipped\":%zu,"
+        "\"interrupted\":%s,"
+        "\"workers\":%u,\"wall_ms\":%.3f,\"cpu_ms\":%.3f,"
+        "\"utilization\":%.4f}",
+        summary.totalJobs, summary.failedJobs, summary.quarantinedJobs,
+        summary.resumedJobs, summary.skippedJobs,
+        summary.interrupted ? "true" : "false", summary.workers,
+        summary.wallMs, summary.cpuMs, summary.utilization));
 }
 
 } // namespace dcl1::exec

@@ -11,10 +11,10 @@
 #ifndef DCL1_EXEC_RESULT_SINK_HH
 #define DCL1_EXEC_RESULT_SINK_HH
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "exec/atomic_file.hh"
 #include "exec/job.hh"
 
 namespace dcl1::exec
@@ -25,6 +25,15 @@ struct RunSummary
 {
     std::size_t totalJobs = 0;
     std::size_t failedJobs = 0;
+    /** Failed deterministically (panic/fatal); retries never help. */
+    std::size_t quarantinedJobs = 0;
+    /** Satisfied from the run manifest without simulating. */
+    std::size_t resumedJobs = 0;
+    /** Never started: the batch was interrupted first. */
+    std::size_t skippedJobs = 0;
+    /** SIGINT (or injected interrupt): in-flight jobs were drained,
+     *  the rest skipped; the batch is resumable. */
+    bool interrupted = false;
     unsigned workers = 0;
     double wallMs = 0.0; ///< whole-batch host wall time
     double cpuMs = 0.0;  ///< sum of per-job wall times
@@ -89,22 +98,22 @@ class ProgressSink : public ResultSink
 /**
  * Machine-readable per-job records: one JSON object per line, written
  * in completion order (each record carries its job index), plus a
- * final summary record. Opened lazily, flushed per record so a killed
- * sweep still leaves a usable log.
+ * final summary record. Records ride an AppendLog — append mode, one
+ * write + flush per record — so a killed sweep leaves every finished
+ * record intact and never a torn line, and successive runs extend the
+ * log instead of truncating it.
  */
 class JsonlSink : public ResultSink
 {
   public:
     explicit JsonlSink(std::string path);
-    ~JsonlSink() override;
 
     void onJobDone(const JobResult &result) override;
     void onRunEnd(const RunSummary &summary,
                   const std::vector<JobResult> &results) override;
 
   private:
-    std::string path_;
-    std::FILE *file_ = nullptr;
+    AppendLog log_;
 };
 
 /** Escape a string for embedding in a JSON double-quoted literal. */

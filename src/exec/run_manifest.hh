@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Durable run directories: manifest + per-job write-ahead log.
+ *
+ * A durable batch writes a *run directory*:
+ *
+ *     <dir>/manifest.json   identity + status (atomic rewrite)
+ *     <dir>/jobs.jsonl      one record per finished job (WAL append)
+ *     <dir>/crash/          crash records of failed jobs (.json)
+ *
+ * The manifest pins the run's identity: a configuration description
+ * (tool, grid, cycle budgets, platform, seed) plus the build
+ * signature (WAL schema, DCL1_CHECK). Reopening a directory whose
+ * identity does not match the current invocation is refused — a
+ * resumed half-batch silently mixed with different settings would
+ * produce a CSV that *looks* complete and is wrong.
+ *
+ * Resume matching: a job is skipped iff a WAL record exists for its
+ * JobSpec::key — (design, app, measure/warmup cycles, platform
+ * summary, seed, key suffix) — and that record is either `ok` or
+ * `quarantined`. Quarantined failures are deterministic, so re-running
+ * them cannot help; retryable failures (timeout, worker exception) are
+ * *not* recorded and therefore re-run on resume. Metrics round-trip
+ * through "%.17g", so a resumed batch reproduces a clean run's CSV
+ * byte for byte.
+ */
+
+#ifndef DCL1_EXEC_RUN_MANIFEST_HH
+#define DCL1_EXEC_RUN_MANIFEST_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exec/atomic_file.hh"
+#include "exec/job.hh"
+
+namespace dcl1::exec
+{
+
+/// @name Minimal JSON field access (for the flat records we write)
+/// @{
+
+/** Inverse of jsonEscape (result_sink.hh). */
+std::string jsonUnescape(const std::string &s);
+
+/**
+ * Find `"field":"<string>"` in @p text; true and the unescaped value
+ * when present. Escaped string values cannot collide with the quoted
+ * search pattern, so first occurrence is unambiguous for our records.
+ */
+bool jsonFieldString(const std::string &text, const char *field,
+                     std::string &out);
+
+/**
+ * Raw (unquoted) value of `"field":` — number, bool, or object — as
+ * the substring up to the next delimiter; empty when absent.
+ */
+std::string jsonFieldRaw(const std::string &text, const char *field);
+
+/// @}
+
+/** Serialize metrics as a JSON object; doubles use %.17g (exact). */
+std::string runMetricsJson(const core::RunMetrics &rm);
+
+/** Parse runMetricsJson output; false on any missing field. */
+bool parseRunMetricsJson(const std::string &json, core::RunMetrics &rm);
+
+/** Identity of the producing build (WAL schema + check mode). */
+std::string buildSignature();
+
+/** One completed-job WAL record. */
+struct JobRecord
+{
+    std::string key;
+    std::string label;
+    bool ok = false;
+    bool quarantined = false;
+    unsigned attempts = 1;
+    FailureKind kind = FailureKind::None;
+    std::string error;
+    core::RunMetrics metrics; ///< valid only when ok
+
+    /** One JSONL line. */
+    std::string toJsonLine() const;
+
+    /** Parse a toJsonLine() line; false on malformed input. */
+    static bool fromJsonLine(const std::string &line, JobRecord &out);
+};
+
+/** See file comment. */
+class RunManifest
+{
+  public:
+    /**
+     * Open @p dir as a durable run for @p config (a human-readable
+     * configuration description). Creates the directory + manifest on
+     * first use; on reopen, fatal()s unless the stored config and
+     * build signature match, then loads every completed record.
+     */
+    static std::unique_ptr<RunManifest>
+    openOrCreate(const std::string &dir, const std::string &config);
+
+    /** Completed (ok or quarantined) record for @p key, else null. */
+    const JobRecord *find(const std::string &key) const;
+
+    /** Record a finished job (WAL append; crash-safe per record). */
+    void append(const JobRecord &record);
+
+    /** Rewrite the manifest with a final status ("complete",
+     *  "interrupted"); atomic, so a crash keeps the old manifest. */
+    void finalize(const std::string &status);
+
+    std::size_t completedCount() const { return records_.size(); }
+    const std::string &dir() const { return dir_; }
+    std::string crashDir() const { return dir_ + "/crash"; }
+
+    /** Use openOrCreate(); public only for std::make_unique. */
+    RunManifest(std::string dir, std::string config);
+
+  private:
+    void writeManifestFile(const std::string &status);
+    void loadRecords();
+
+    std::string dir_;
+    std::string config_;
+    AppendLog wal_;
+    std::map<std::string, JobRecord> records_;
+};
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_RUN_MANIFEST_HH

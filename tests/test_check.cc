@@ -70,6 +70,38 @@ TEST_F(LedgerTest, HappyPathLifecycle)
     req.reset();                         // retired: destroy is legal
 }
 
+TEST_F(LedgerTest, EventRingRecordsLifecycleForCrashForensics)
+{
+    auto req = tracked(0x1f80);
+    check::ledger().onTransition(*req, check::ReqStage::InNoc);
+    check::ledger().onRetire(*req);
+
+    const std::string json = check::ledger().recentEventsJson();
+    EXPECT_NE(json.find("\"ev\":\"create\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ev\":\"transition\""), std::string::npos);
+    EXPECT_NE(json.find("\"ev\":\"retire\""), std::string::npos);
+    EXPECT_NE(json.find("\"from\":\"Issued\",\"to\":\"InNoc\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"to\":\"Retired\""), std::string::npos);
+    EXPECT_NE(json.find("\"addr\":\"0x1f80\""), std::string::npos);
+    req.reset();
+
+    // The ring keeps only the most recent kEventRing events: after
+    // many more lifecycles the early request's events are gone.
+    for (int i = 0; i < 40; ++i) {
+        auto r2 = tracked(0x4000 + Addr(i) * 0x80);
+        check::ledger().onTransition(*r2, check::ReqStage::InNoc);
+        check::ledger().onRetire(*r2);
+        r2.reset();
+    }
+    const std::string later = check::ledger().recentEventsJson();
+    EXPECT_EQ(later.find("\"addr\":\"0x1f80\""), std::string::npos);
+
+    // clear() resets the forensic tail along with the session state.
+    check::ledger().clear();
+    EXPECT_EQ(check::ledger().recentEventsJson(), "[]");
+}
+
 TEST_F(LedgerTest, UntrackedRequestsAreIgnored)
 {
     auto req = mem::makeRequest(mem::MemOp::Read, 0x2000, 4, 0, 0, 0);

@@ -79,6 +79,61 @@ TEST(Design, ValidateRejectsBadGeometry)
     DesignConfig d2 = clusteredDcl1(40, 3); // 40 % 3 != 0
     EXPECT_EXIT(d2.validate(sys), ::testing::ExitedWithCode(1),
                 "not divisible");
+    DesignConfig d3 = clusteredDcl1(0, 1); // zero nodes
+    EXPECT_EXIT(d3.validate(sys), ::testing::ExitedWithCode(1),
+                "nonzero");
+    DesignConfig d4 = baselineDesign();
+    d4.noc2ClockRatio = 0.0; // a clockless crossbar moves nothing
+    EXPECT_EXIT(d4.validate(sys), ::testing::ExitedWithCode(1),
+                "clock ratios must be positive");
+}
+
+TEST(Design, PlatformValidateAcceptsTheTable2Machine)
+{
+    SystemConfig sys;
+    sys.validate(); // must not die
+    SystemConfig scaled = SystemConfig::scaled(120, 48, 24);
+    scaled.validate();
+}
+
+TEST(Design, PlatformValidateRejectsImpossibleConfigs)
+{
+    // Front-door rejection: each impossible platform dies with a
+    // config error (exit 1) at validation, not a mid-run panic.
+    SystemConfig zero_cores;
+    zero_cores.numCores = 0;
+    EXPECT_EXIT(zero_cores.validate(), ::testing::ExitedWithCode(1),
+                "must be nonzero");
+
+    SystemConfig zero_ways;
+    zero_ways.l1Assoc = 0;
+    EXPECT_EXIT(zero_ways.validate(), ::testing::ExitedWithCode(1),
+                "associativity is zero");
+
+    SystemConfig zero_sets;
+    zero_sets.l1SizeBytes = 256; // 256 / (128 * 4) == 0 sets
+    EXPECT_EXIT(zero_sets.validate(), ::testing::ExitedWithCode(1),
+                "zero sets");
+
+    SystemConfig odd_sets;
+    odd_sets.l1SizeBytes = 24 * 1024; // 48 sets: not a power of two
+    EXPECT_EXIT(odd_sets.validate(), ::testing::ExitedWithCode(1),
+                "not a power of two");
+
+    SystemConfig bad_flits;
+    bad_flits.flitBytes = 48; // 128 % 48 != 0
+    EXPECT_EXIT(bad_flits.validate(), ::testing::ExitedWithCode(1),
+                "do not divide");
+
+    SystemConfig zero_mshrs;
+    zero_mshrs.l2Mshrs = 0;
+    EXPECT_EXIT(zero_mshrs.validate(), ::testing::ExitedWithCode(1),
+                "MSHR geometry");
+
+    SystemConfig zero_queue;
+    zero_queue.nodeQueueCap = 0;
+    EXPECT_EXIT(zero_queue.validate(), ::testing::ExitedWithCode(1),
+                "queue capacity");
 }
 
 TEST(Design, DesignByName)

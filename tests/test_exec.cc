@@ -17,6 +17,7 @@
 #include "check/determinism.hh"
 #include "common/log.hh"
 #include "core/design.hh"
+#include "exec/exit_codes.hh"
 #include "exec/job_runner.hh"
 #include "exec/job_set.hh"
 #include "exec/result_sink.hh"
@@ -372,6 +373,191 @@ TEST(Exec, FromEnvStrictParsing)
     EXPECT_EXIT(ExecOptions::fromEnv(), ::testing::ExitedWithCode(1),
                 "trailing garbage");
     unsetenv("DCL1_JOB_BUDGET");
+
+    setenv("DCL1_RETRIES", "7", 1);
+    EXPECT_EQ(ExecOptions::fromEnv().maxRetries, 7u);
+    setenv("DCL1_RETRIES", "lots", 1);
+    EXPECT_EXIT(ExecOptions::fromEnv(), ::testing::ExitedWithCode(1),
+                "is not a number");
+    unsetenv("DCL1_RETRIES");
+
+    setenv("DCL1_CRASH_DIR", "/tmp/crash", 1);
+    EXPECT_EQ(ExecOptions::fromEnv().crashDir, "/tmp/crash");
+    unsetenv("DCL1_CRASH_DIR");
+}
+
+TEST(Exec, ExitCodeContractIsPinned)
+{
+    // The numeric contract is documented in --help, the README and CI
+    // scripts; a silent renumbering would break all of them.
+    EXPECT_EQ(kExitOk, 0);
+    EXPECT_EQ(kExitConfigError, 1);
+    EXPECT_EQ(kExitRunFailed, 2);
+    EXPECT_EQ(kExitFailedCells, 3);
+    EXPECT_EQ(kExitResumable, 4);
+    EXPECT_EQ(kExitQuarantined, 5);
+}
+
+TEST(Exec, FailureKindNamesAreStable)
+{
+    // Serialized into WAL records and crash files; renames would make
+    // old run directories unreadable.
+    EXPECT_STREQ(failureKindName(FailureKind::None), "none");
+    EXPECT_STREQ(failureKindName(FailureKind::Timeout), "timeout");
+    EXPECT_STREQ(failureKindName(FailureKind::SimBug), "sim-bug");
+    EXPECT_STREQ(failureKindName(FailureKind::ConfigError),
+                 "config-error");
+    EXPECT_STREQ(failureKindName(FailureKind::WorkerException),
+                 "worker-exception");
+}
+
+TEST(Exec, TimeoutRetriesWithEscalatingBudget)
+{
+    ExecOptions opts = quietOpts(1);
+    opts.cycleBudget = 1000;
+    opts.maxRetries = 2;
+    opts.budgetEscalation = 2.0;
+
+    std::vector<Cycle> budgets; // serial runner: no locking needed
+    std::vector<JobSpec> specs;
+    specs.push_back(
+        {"overruns", [&](JobContext &ctx) -> core::RunMetrics {
+             budgets.push_back(ctx.cycleBudget());
+             ctx.checkCycleBudget(1000000);
+             return {};
+         }});
+    const auto results = JobRunner(opts).run(specs);
+
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_EQ(results[0].kind, FailureKind::Timeout);
+    EXPECT_FALSE(results[0].quarantined);
+    EXPECT_EQ(results[0].attempts, 3u);
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_EQ(budgets[0], 1000u);
+    EXPECT_EQ(budgets[1], 2000u);
+    EXPECT_EQ(budgets[2], 4000u);
+}
+
+TEST(Exec, TimeoutRecoversWhenEscalationSuffices)
+{
+    ExecOptions opts = quietOpts(1);
+    opts.cycleBudget = 1000;
+    opts.maxRetries = 2;
+
+    std::vector<JobSpec> specs;
+    specs.push_back({"nearmiss", [](JobContext &ctx) {
+                         // Needs 1500 cycles: over the first budget,
+                         // under the doubled one.
+                         ctx.checkCycleBudget(1500);
+                         core::RunMetrics rm;
+                         rm.ipc = 1.0;
+                         return rm;
+                     }});
+    const auto results = JobRunner(opts).run(specs);
+
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].attempts, 2u);
+    EXPECT_EQ(results[0].kind, FailureKind::None);
+}
+
+TEST(Exec, DeterministicFailuresAreQuarantinedWithoutRetry)
+{
+    ExecOptions opts = quietOpts(1);
+    opts.maxRetries = 5; // must NOT be spent on deterministic failures
+
+    int panic_runs = 0, fatal_runs = 0;
+    std::vector<JobSpec> specs;
+    specs.push_back({"panics", [&](JobContext &) -> core::RunMetrics {
+                         ++panic_runs;
+                         panic("invariant violated");
+                     }});
+    specs.push_back({"fatals", [&](JobContext &) -> core::RunMetrics {
+                         ++fatal_runs;
+                         fatal("impossible configuration");
+                     }});
+    const auto results = JobRunner(opts).run(specs);
+
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_TRUE(results[0].quarantined);
+    EXPECT_EQ(results[0].kind, FailureKind::SimBug);
+    EXPECT_EQ(results[0].attempts, 1u);
+    EXPECT_EQ(panic_runs, 1);
+
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_TRUE(results[1].quarantined);
+    EXPECT_EQ(results[1].kind, FailureKind::ConfigError);
+    EXPECT_EQ(results[1].attempts, 1u);
+    EXPECT_EQ(fatal_runs, 1);
+}
+
+TEST(Exec, WorkerExceptionsRetryAtConstantBudget)
+{
+    ExecOptions opts = quietOpts(1);
+    opts.cycleBudget = 1000;
+    opts.maxRetries = 2;
+
+    int runs = 0;
+    std::vector<Cycle> budgets;
+    std::vector<JobSpec> specs;
+    specs.push_back({"flaky", [&](JobContext &ctx) -> core::RunMetrics {
+                         budgets.push_back(ctx.cycleBudget());
+                         if (++runs < 3)
+                             throw std::runtime_error("transient");
+                         core::RunMetrics rm;
+                         rm.ipc = 1.0;
+                         return rm;
+                     }});
+    const auto results = JobRunner(opts).run(specs);
+
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(results[0].attempts, 3u);
+    // No escalation for unclassified exceptions: the budget was not
+    // the problem.
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_EQ(budgets[1], 1000u);
+    EXPECT_EQ(budgets[2], 1000u);
+}
+
+TEST(Exec, SummaryCountsQuarantinedJobs)
+{
+    class CaptureSink : public ResultSink
+    {
+      public:
+        RunSummary last;
+        void
+        onRunEnd(const RunSummary &summary,
+                 const std::vector<JobResult> &) override
+        {
+            last = summary;
+        }
+    };
+
+    std::vector<JobSpec> specs;
+    specs.push_back({"ok", [](JobContext &) {
+                         core::RunMetrics rm;
+                         rm.ipc = 1.0;
+                         return rm;
+                     }});
+    specs.push_back({"panics", [](JobContext &) -> core::RunMetrics {
+                         panic("bug");
+                     }});
+    specs.push_back({"throws", [](JobContext &) -> core::RunMetrics {
+                         throw std::runtime_error("flake");
+                     }});
+
+    ExecOptions opts = quietOpts(1);
+    opts.maxRetries = 0;
+    CaptureSink sink;
+    JobRunner runner(opts);
+    runner.addSink(&sink);
+    runner.run(specs);
+
+    EXPECT_EQ(sink.last.totalJobs, 3u);
+    EXPECT_EQ(sink.last.failedJobs, 2u);
+    EXPECT_EQ(sink.last.quarantinedJobs, 1u);
+    EXPECT_EQ(sink.last.resumedJobs, 0u);
+    EXPECT_EQ(sink.last.skippedJobs, 0u);
+    EXPECT_FALSE(sink.last.interrupted);
 }
 
 } // anonymous namespace

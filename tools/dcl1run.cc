@@ -18,15 +18,25 @@
  *   --warmup=N        warmup cycles          (default 40000)
  *   --cores=N --slices=N --channels=N        platform scaling
  *   --seed=N          workload seed
- *   --stats=FILE      dump the full statistics tree ('-' = stdout)
+ *   --stats=FILE      dump the full statistics tree ('-' = stdout;
+ *                     files are published atomically via tmp+rename)
  *   --drain           drain in-flight traffic after the run and report
  *   --budget=N        fail the run after N simulated cycles (watchdog)
  *   --jsonl=FILE      append a JSON run record (timing, outcome)
+ *   --crash-dir=DIR   write a structured crash record on failure
+ *                     (DCL1_CRASH_DIR)
+ *   --replay-crash=FILE  re-run the exact configuration recorded in a
+ *                     crash record written by a failed batch cell
+ *   --help            usage + the exit-code contract
  *
  * The simulation executes as a single job of the src/exec engine: a
  * panic inside the model is reported as a failed run (exit 2) with
  * its message instead of aborting, host wall time is measured, and
  * the optional cycle-budget watchdog bounds a runaway configuration.
+ * On failure the job's crash context (configuration, last cycle,
+ * queue depths, recent ledger events under DCL1_CHECK) lands in
+ * --crash-dir, and `--replay-crash=<that file>` turns the forensic
+ * record back into a live simulation.
  */
 
 #include <cstdio>
@@ -40,7 +50,11 @@
 #include "common/log.hh"
 #include "core/experiment.hh"
 #include "core/gpu_system.hh"
+#include "exec/atomic_file.hh"
+#include "exec/crash_record.hh"
+#include "exec/exit_codes.hh"
 #include "exec/job_runner.hh"
+#include "exec/result_sink.hh"
 #include "workload/app_catalog.hh"
 #include "workload/trace_file.hh"
 
@@ -64,9 +78,12 @@ struct Options
     std::uint64_t seed = 1;
     dcl1::Cycle budget = 0;
     std::string jsonlFile;
+    std::string crashDir;
+    std::string replayCrash;
     bool drain = false;
     bool listApps = false;
     bool listDesigns = false;
+    bool help = false;
 };
 
 std::optional<std::string>
@@ -110,16 +127,49 @@ parseArgs(int argc, char **argv)
                 std::numeric_limits<std::int64_t>::max()));
         else if (auto v = valueOf(a, "--jsonl"))
             o.jsonlFile = *v;
+        else if (auto v = valueOf(a, "--crash-dir"))
+            o.crashDir = *v;
+        else if (auto v = valueOf(a, "--replay-crash"))
+            o.replayCrash = *v;
         else if (std::strcmp(a, "--drain") == 0)
             o.drain = true;
         else if (std::strcmp(a, "--list-apps") == 0)
             o.listApps = true;
         else if (std::strcmp(a, "--list-designs") == 0)
             o.listDesigns = true;
+        else if (std::strcmp(a, "--help") == 0 ||
+                 std::strcmp(a, "-h") == 0)
+            o.help = true;
         else
-            fatal("unknown option '%s' (see the file comment)", a);
+            fatal("unknown option '%s' (--help lists them)", a);
     }
     return o;
+}
+
+void
+printHelp()
+{
+    std::printf(
+        "dcl1run — run one (design, workload) simulation\n"
+        "\n"
+        "  --design=NAME     Baseline | PrY | ShY | ShY+CZ[+Boost] | "
+        "CDXBar*\n"
+        "  --app=NAME        application from the catalog "
+        "(--list-apps)\n"
+        "  --trace=FILE      replay a trace file instead\n"
+        "  --cycles=N --warmup=N          simulated interval\n"
+        "  --cores=N --slices=N --channels=N  platform scaling\n"
+        "  --seed=N          workload seed\n"
+        "  --stats=FILE      full statistics tree ('-' = stdout; "
+        "atomic)\n"
+        "  --drain           drain in-flight traffic and report\n"
+        "  --budget=N        simulated-cycle watchdog\n"
+        "  --jsonl=FILE      append a JSON run record\n"
+        "  --crash-dir=DIR   crash record on failure (DCL1_CRASH_DIR)\n"
+        "  --replay-crash=FILE  re-run a recorded crash exactly\n"
+        "\n"
+        "%s\n",
+        exec::kExitCodeContract);
 }
 
 } // anonymous namespace
@@ -127,7 +177,34 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const Options o = parseArgs(argc, argv);
+    Options o = parseArgs(argc, argv);
+
+    if (o.help) {
+        printHelp();
+        return exec::kExitOk;
+    }
+
+    if (!o.replayCrash.empty()) {
+        // Forensic replay: rebuild exactly the cell the crash record
+        // describes; explicit command-line overrides still win where
+        // given *after* the flag (parse order), but the point is a
+        // faithful re-run.
+        const exec::CrashConfig crash =
+            exec::loadCrashRecord(o.replayCrash);
+        o.design = crash.design;
+        o.app = crash.app;
+        o.trace = crash.trace;
+        o.cores = crash.cores;
+        o.slices = crash.slices;
+        o.channels = crash.channels;
+        o.seed = crash.seed;
+        o.cycles = crash.measure;
+        o.warmup = crash.warmup;
+        inform("replaying crash record '%s' (%s): %s",
+               o.replayCrash.c_str(), crash.label.c_str(),
+               crash.error.empty() ? "no recorded error"
+                                   : crash.error.c_str());
+    }
 
     if (o.listApps) {
         for (const auto &app : workload::appCatalog())
@@ -182,6 +259,11 @@ main(int argc, char **argv)
     exec::ExecOptions eopts;
     eopts.jobs = 1;
     eopts.cycleBudget = o.budget;
+    eopts.maxRetries = 0; // interactive single shot; no silent re-runs
+    eopts.crashDir = o.crashDir;
+    if (eopts.crashDir.empty())
+        if (const char *dir = std::getenv("DCL1_CRASH_DIR"))
+            eopts.crashDir = dir;
     exec::JobRunner runner(eopts);
     std::unique_ptr<exec::JsonlSink> jsonl;
     if (!o.jsonlFile.empty()) {
@@ -191,18 +273,48 @@ main(int argc, char **argv)
     std::vector<exec::JobSpec> specs(1);
     specs[0].label =
         design.name + "/" + (o.trace.empty() ? o.app : o.trace);
+    // Crash-diagnostic cooperation (see exec/crash_record.hh): the
+    // replayable configuration up front, the machine state on death.
+    const std::string crash_cfg = csprintf(
+        "\"design\":\"%s\",\"%s\":\"%s\",\"cores\":%u,\"slices\":%u,"
+        "\"channels\":%u,\"seed\":%llu,\"measure\":%llu,\"warmup\":%llu",
+        exec::jsonEscape(design.name).c_str(),
+        o.trace.empty() ? "app" : "trace",
+        exec::jsonEscape(o.trace.empty() ? o.app : o.trace).c_str(),
+        o.cores, o.slices, o.channels,
+        static_cast<unsigned long long>(o.seed),
+        static_cast<unsigned long long>(o.cycles),
+        static_cast<unsigned long long>(o.warmup));
     specs[0].fn = [&](exec::JobContext &ctx) {
+        ctx.setCrashContext(crash_cfg);
         core::GpuSystem::CycleHeartbeat heartbeat;
         if (ctx.cycleBudget() != 0)
             heartbeat = [&ctx](Cycle now) { ctx.checkCycleBudget(now); };
-        gpu->run(o.cycles, o.warmup, heartbeat);
+        try {
+            gpu->run(o.cycles, o.warmup, heartbeat);
+        } catch (...) {
+            try {
+                ctx.setCrashContext(crash_cfg + "," +
+                                    exec::crashSnapshotJson(*gpu));
+            } catch (...) {
+            }
+            throw;
+        }
         return gpu->metrics();
     };
     const std::vector<exec::JobResult> results = runner.run(specs);
     if (!results[0].ok) {
-        std::fprintf(stderr, "dcl1run: simulation failed: %s\n",
+        std::fprintf(stderr, "dcl1run: simulation failed (%s): %s\n",
+                     exec::failureKindName(results[0].kind),
                      results[0].error.c_str());
-        return 2;
+        if (!eopts.crashDir.empty())
+            std::fprintf(
+                stderr,
+                "dcl1run: crash record: %s/%s (replay with "
+                "--replay-crash)\n",
+                eopts.crashDir.c_str(),
+                exec::crashRecordName(0, results[0].label).c_str());
+        return exec::kExitRunFailed;
     }
     const core::RunMetrics &rm = results[0].metrics;
 
@@ -232,20 +344,18 @@ main(int argc, char **argv)
         const bool ok = gpu->drain();
         std::printf("drain      %s\n", ok ? "clean" : "TIMED OUT");
         if (!ok)
-            return 2;
+            return exec::kExitRunFailed;
     }
 
     if (!o.statsFile.empty()) {
         if (o.statsFile == "-") {
             gpu->dumpStats(std::cout);
         } else {
-            std::ofstream out(o.statsFile);
-            if (!out)
-                fatal("cannot open stats file '%s'",
-                      o.statsFile.c_str());
-            gpu->dumpStats(out);
+            exec::AtomicFileWriter out(o.statsFile);
+            gpu->dumpStats(out.stream());
+            out.commit();
             inform("stats written to %s", o.statsFile.c_str());
         }
     }
-    return 0;
+    return exec::kExitOk;
 }

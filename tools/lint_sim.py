@@ -33,6 +33,16 @@ Enforces rules a generic linter cannot know about:
                          time by design; its audited call sites carry
                          `lint: wallclock-ok`, which is honoured there
                          and nowhere else.
+  R7  no-rawwrite        raw output-file writes (std::ofstream, fopen)
+                         in tools/, bench/ and src/exec/ are banned: a
+                         run killed mid-write leaves a truncated or
+                         torn result file that *looks* complete. Result
+                         files must go through exec::AtomicFileWriter
+                         (whole-file tmp+rename publish) or
+                         exec::AppendLog (line-atomic WAL append); the
+                         audited implementations of those helpers carry
+                         `lint: rawwrite-ok`. Reads (std::ifstream) are
+                         unaffected.
 
 Usage: tools/lint_sim.py [--root DIR]
 Exits non-zero if any violation is found.
@@ -63,11 +73,24 @@ RE_WALLCLOCK = re.compile(
     r"|std::chrono::(?:system|steady|high_resolution)_clock"
     r"|(?<![\w:.])clock\s*\(\s*\)"
 )
+RE_RAWWRITE = re.compile(r"std::ofstream|(?<![\w:.])fopen\s*\(")
 ALLOW_COMMENT = "lint: unordered-iter-ok"
 # Host-time measurement is legitimate only in the execution engine,
 # which times jobs/batches of the *host*, never the simulated machine.
 WALLCLOCK_ALLOW = "lint: wallclock-ok"
 WALLCLOCK_ALLOWED_DIRS = {("src", "exec")}
+# Result files must be written through the crash-safe helpers; only
+# their own implementation may touch the filesystem directly.
+RAWWRITE_ALLOW = "lint: rawwrite-ok"
+
+
+def rawwrite_scope(rel):
+    """R7 applies where result files are produced: the tools, the
+    benches, and the execution engine itself."""
+    return rel.parts[0] in ("tools", "bench") or rel.parts[:2] == (
+        "src",
+        "exec",
+    )
 
 
 def strip_comments_and_strings(line):
@@ -146,6 +169,24 @@ def lint_file(path, root):
                 violations.append(
                     (ln, "no-naked-new", "use std::make_unique")
                 )
+        rawwrite_allowed = RAWWRITE_ALLOW in raw or (
+            ln >= 2 and RAWWRITE_ALLOW in lines[ln - 2]
+        )
+        if (
+            rawwrite_scope(rel)
+            and not rawwrite_allowed
+            and RE_RAWWRITE.search(line)
+        ):
+            violations.append(
+                (
+                    ln,
+                    "no-rawwrite",
+                    "raw result-file write can be torn/truncated by a "
+                    "kill; use exec::AtomicFileWriter or "
+                    f"exec::AppendLog (`{RAWWRITE_ALLOW}` for audited "
+                    "exceptions)",
+                )
+            )
         if in_src and not wallclock_allowed and RE_WALLCLOCK.search(line):
             violations.append(
                 (
