@@ -74,6 +74,11 @@ Harness::prefetch(const std::vector<core::DesignConfig> &designs,
                   bool with_baseline)
 {
     exec::JobSet set;
+    // DCL1_TIMELINE=<dir>: emit a per-cell cycle-interval timeline for
+    // every prefetched cell. Observability only — cached metrics and
+    // printed tables are byte-identical with or without it.
+    if (const char *dir = std::getenv("DCL1_TIMELINE"))
+        set.setTimelineDir(dir);
     // Job index -> harness cache key; memoization may map several
     // (design, app) pairs onto one job.
     std::vector<std::pair<std::size_t, std::string>> wanted;

@@ -14,6 +14,9 @@
  *   DCL1_JOBS=N               - parallel workers for prefetch()
  *                               (default: one per hardware thread)
  *   DCL1_JOBS_LOG=<file>      - per-job JSONL timing records
+ *   DCL1_TIMELINE=<dir>       - one cycle-interval timeline JSONL per
+ *                               prefetched cell (see src/stats/)
+ *   DCL1_TIMELINE_INTERVAL=N  - cycles per timeline row
  */
 
 #ifndef DCL1_BENCH_BENCH_COMMON_HH

@@ -1,14 +1,24 @@
 #include "core/gpu_system.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "check/check.hh"
 #include "check/request_ledger.hh"
+#include "common/env.hh"
 #include "common/log.hh"
 #include "noc/packet.hh"
 
 namespace dcl1::core
 {
+
+Cycle
+timelineIntervalFromEnv()
+{
+    return static_cast<Cycle>(
+        envIntOr("DCL1_TIMELINE_INTERVAL", 1024, 1,
+                 std::numeric_limits<std::int64_t>::max()));
+}
 
 GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
                      const workload::WorkloadParams &app,
@@ -32,7 +42,12 @@ GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
     }
 }
 
-GpuSystem::~GpuSystem() = default;
+GpuSystem::~GpuSystem()
+{
+    // Never leave a dangling thread-local trace sink behind.
+    if (trace_ && stats::tlsTraceSink() == trace_)
+        stats::tlsTraceSink() = nullptr;
+}
 
 mem::CacheBankParams
 GpuSystem::l1BankParams() const
@@ -80,6 +95,7 @@ GpuSystem::l2BankParams() const
     p.downstreamCap = 16;
     p.policy = mem::WritePolicy::WriteBack;
     p.repl = sys_.l2Repl;
+    p.tlmSeg = stats::Seg::L2;
     return p;
 }
 
@@ -302,6 +318,7 @@ GpuSystem::tickBaseline()
             auto reply = slices_[s]->takeReply();
             if (!reply)
                 break;
+            stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply, cycle_);
             noc::Packet pkt;
             pkt.src = s;
             pkt.dst = (*reply)->core;
@@ -318,7 +335,7 @@ GpuSystem::tickBaseline()
     for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
         while (mainReq_->hasEjectable(s) && slices_[s]->canAcceptRequest()) {
             auto pkt = mainReq_->eject(s);
-            slices_[s]->pushRequest(std::move(pkt->req));
+            slices_[s]->pushRequest(std::move(pkt->req), cycle_);
         }
     }
     // Reply ejection -> cores.
@@ -334,6 +351,7 @@ GpuSystem::tickBaseline()
         while (cores_[c]->hasOutbound() && mainReq_->canInject(c)) {
             auto req = cores_[c]->takeOutbound();
             (*req)->slice = addrMap_.slice((*req)->addr);
+            stats::tlmEnter((*req)->tlm, stats::Seg::NocReq, cycle_);
             noc::Packet pkt;
             pkt.src = c;
             pkt.dst = (*req)->slice;
@@ -356,6 +374,7 @@ GpuSystem::tickCdx()
             const CoreId dst = (*reply)->core;
             const std::uint32_t flits =
                 noc::flitsFor(**reply, sys_.flitBytes);
+            stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply, cycle_);
             cdxReply_->inject(s, dst, std::move(*reply), flits);
         }
     }
@@ -368,7 +387,7 @@ GpuSystem::tickCdx()
             auto req = cdxReq_->eject(s);
             if (!req)
                 break;
-            slices_[s]->pushRequest(std::move(*req));
+            slices_[s]->pushRequest(std::move(*req), cycle_);
         }
     }
     for (CoreId c = 0; c < sys_.numCores; ++c) {
@@ -383,6 +402,7 @@ GpuSystem::tickCdx()
             const std::uint32_t flits =
                 noc::flitsFor(**req, sys_.flitBytes);
             const SliceId dst = (*req)->slice;
+            stats::tlmEnter((*req)->tlm, stats::Seg::NocReq, cycle_);
             cdxReq_->inject(c, dst, std::move(*req), flits);
         }
         cores_[c]->tick(cycle_);
@@ -407,6 +427,7 @@ GpuSystem::tickDcl1()
                 break;
             ++dbgL2Replies;
             const NodeId node = (*reply)->homeNode;
+            stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply, cycle_);
             noc::Packet pkt;
             pkt.src = in;
             pkt.dst = partitioned ? org_->clusterOfNode(node) : node;
@@ -432,7 +453,7 @@ GpuSystem::tickDcl1()
         noc::Crossbar &xbar = *noc2Req_[g];
         while (xbar.hasEjectable(out) && slices_[s]->canAcceptRequest()) {
             auto pkt = xbar.eject(out);
-            slices_[s]->pushRequest(std::move(pkt->req));
+            slices_[s]->pushRequest(std::move(pkt->req), cycle_);
         }
     }
     for (NodeId n = 0; n < design_.numNodes; ++n) {
@@ -442,6 +463,8 @@ GpuSystem::tickDcl1()
         while (xbar.hasEjectable(out) && nodes_[n]->canAcceptFromMem()) {
             auto pkt = xbar.eject(out);
             ++dbgNodeFromMem;
+            // Time queued in Q4 (and the fill itself) is cache time.
+            stats::tlmEnter(pkt->req->tlm, stats::Seg::Cache, cycle_);
             nodes_[n]->pushFromMem(std::move(pkt->req));
         }
     }
@@ -454,6 +477,8 @@ GpuSystem::tickDcl1()
         while (xbar.hasEjectable(local) &&
                nodes_[n]->canAcceptFromCore()) {
             auto pkt = xbar.eject(local);
+            // Time queued in Q1 counts against the DC-L1 cache.
+            stats::tlmEnter(pkt->req->tlm, stats::Seg::Cache, cycle_);
             nodes_[n]->pushFromCore(std::move(pkt->req));
         }
     }
@@ -484,6 +509,7 @@ GpuSystem::tickDcl1()
                 auto req = node.takeToMem();
                 ++dbgNodeToMem;
                 (*req)->slice = addrMap_.slice((*req)->addr);
+                stats::tlmEnter((*req)->tlm, stats::Seg::NocReq, cycle_);
                 noc::Packet pkt;
                 pkt.src = in;
                 pkt.dst = partitioned ? (*req)->slice / m : (*req)->slice;
@@ -498,6 +524,8 @@ GpuSystem::tickDcl1()
             noc::Crossbar &xbar = *noc1Reply_[z];
             while (node.hasToCore() && xbar.canInject(local)) {
                 auto reply = node.takeToCore();
+                stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply,
+                                cycle_);
                 noc::Packet pkt;
                 pkt.src = local;
                 pkt.dst = (*reply)->core % n_per;
@@ -517,6 +545,7 @@ GpuSystem::tickDcl1()
             auto req = cores_[c]->takeOutbound();
             const NodeId home = org_->homeNode(c, (*req)->addr);
             (*req)->homeNode = home;
+            stats::tlmEnter((*req)->tlm, stats::Seg::NocReq, cycle_);
             noc::Packet pkt;
             pkt.src = local;
             pkt.dst = home % m;
@@ -564,6 +593,8 @@ GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
     RunLoopGuard guard;
     for (Cycle i = 0; i < warmup_cycles; ++i) {
         tickOnce();
+        if (timeline_)
+            timeline_->maybeSample(cycle_);
         if ((i & 4095) == 4095) {
             DCL1_CHECK_ONLY(checkInvariants("warmup"));
             if (heartbeat)
@@ -573,6 +604,8 @@ GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
     resetStats();
     for (Cycle i = 0; i < measure_cycles; ++i) {
         tickOnce();
+        if (timeline_)
+            timeline_->maybeSample(cycle_);
         if ((i & 4095) == 4095) {
             DCL1_CHECK_ONLY(checkInvariants("measure"));
             if (heartbeat)
@@ -584,6 +617,11 @@ GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
 void
 GpuSystem::resetStats()
 {
+    // The timeline must emit the tail of the pre-reset interval while
+    // the counters it differences still hold their pre-reset values.
+    if (timeline_)
+        timeline_->flushTail(cycle_);
+
     statStart_ = cycle_;
     for (auto &core : cores_)
         core->statGroup().reset();
@@ -613,6 +651,14 @@ GpuSystem::resetStats()
         cdxReq_->resetStats();
     if (cdxReply_)
         cdxReply_->resetStats();
+    if (tlm_)
+        tlm_->reset();
+
+    // Counters just snapped back to zero: re-read every probe baseline
+    // so the first measured interval differences against zero, not the
+    // warmup totals (unsigned deltas would underflow otherwise).
+    if (timeline_)
+        timeline_->rebase(cycle_);
 }
 
 bool
@@ -738,9 +784,8 @@ GpuSystem::checkInvariants(const char *where)
 }
 
 void
-GpuSystem::dumpStats(std::ostream &os)
+GpuSystem::addStatChildren(stats::StatGroup &root)
 {
-    stats::StatGroup root("gpu");
     for (auto &core : cores_)
         root.addChild(&core->statGroup());
     for (auto &node : nodes_)
@@ -764,7 +809,241 @@ GpuSystem::dumpStats(std::ostream &os)
         root.addChild(&x->statGroup());
     for (auto &x : noc2Reply_)
         root.addChild(&x->statGroup());
+    if (tlm_)
+        root.addChild(&tlm_->statGroup());
+}
+
+void
+GpuSystem::dumpStats(std::ostream &os)
+{
+    stats::StatGroup root("gpu");
+    addStatChildren(root);
     root.dump(os);
+}
+
+void
+GpuSystem::dumpStatsJson(std::ostream &os)
+{
+    stats::StatGroup root("gpu");
+    addStatChildren(root);
+    root.dumpJson(os);
+    os << "\n";
+}
+
+void
+GpuSystem::enableTimeline(Cycle interval, stats::LineSink sink)
+{
+    timeline_ = std::make_unique<stats::TimelineSampler>(interval,
+                                                         std::move(sink));
+    registerTimelineProbes();
+    timeline_->start(cycle_);
+}
+
+void
+GpuSystem::registerTimelineProbes()
+{
+    stats::TimelineSampler &tl = *timeline_;
+    const bool dcl1 = design_.topology == Topology::DcL1;
+
+    tl.addPerCycle("ipc", [this] {
+        std::uint64_t sum = 0;
+        for (auto &core : cores_)
+            sum += core->instructions();
+        return sum;
+    });
+
+    auto l1_misses = [this, dcl1] {
+        std::uint64_t sum = 0;
+        if (dcl1) {
+            for (auto &node : nodes_)
+                sum += node->cache().misses();
+        } else {
+            for (auto &core : cores_)
+                if (core->l1())
+                    sum += core->l1()->misses();
+        }
+        return sum;
+    };
+    auto l1_accesses = [this, dcl1] {
+        std::uint64_t sum = 0;
+        if (dcl1) {
+            for (auto &node : nodes_)
+                sum += node->cache().accesses();
+        } else {
+            for (auto &core : cores_)
+                if (core->l1())
+                    sum += core->l1()->accesses();
+        }
+        return sum;
+    };
+    tl.addRatio("l1_miss_rate", l1_misses, l1_accesses);
+
+    // Interval replication ratio, through the dotted-path stat lookup
+    // the tracker registers its counters under.
+    const stats::Scalar *rep =
+        tracker_->statGroup().findScalar("replicated_misses");
+    const stats::Scalar *all = tracker_->statGroup().findScalar("misses");
+    if (rep && all) {
+        tl.addRatio(
+            "repl_ratio", [rep] { return rep->value(); },
+            [all] { return all->value(); });
+    }
+
+    tl.addRatio(
+        "l2_miss_rate",
+        [this] {
+            std::uint64_t sum = 0;
+            for (auto &slice : slices_)
+                sum += slice->bank().misses();
+            return sum;
+        },
+        [this] {
+            std::uint64_t sum = 0;
+            for (auto &slice : slices_)
+                sum += slice->bank().accesses();
+            return sum;
+        });
+
+    switch (design_.topology) {
+      case Topology::PrivateBaseline:
+        tl.addPerCycle("noc2_flits", [this] {
+            return mainReq_->totalFlits() + mainReply_->totalFlits();
+        });
+        break;
+      case Topology::CdXbar:
+        tl.addPerCycle("noc1_flits", [this] {
+            std::uint64_t sum = 0;
+            for (auto &x : cdxReq_->localXbars())
+                sum += x->totalFlits();
+            for (auto &x : cdxReply_->localXbars())
+                sum += x->totalFlits();
+            return sum;
+        });
+        tl.addPerCycle("noc2_flits", [this] {
+            return cdxReq_->globalXbar().totalFlits() +
+                   cdxReply_->globalXbar().totalFlits();
+        });
+        break;
+      case Topology::DcL1:
+        tl.addPerCycle("noc1_flits", [this] {
+            std::uint64_t sum = 0;
+            for (auto &x : noc1Req_)
+                sum += x->totalFlits();
+            for (auto &x : noc1Reply_)
+                sum += x->totalFlits();
+            return sum;
+        });
+        tl.addPerCycle("noc2_flits", [this] {
+            std::uint64_t sum = 0;
+            for (auto &x : noc2Req_)
+                sum += x->totalFlits();
+            for (auto &x : noc2Reply_)
+                sum += x->totalFlits();
+            return sum;
+        });
+        break;
+    }
+
+    auto mshr_in_use = [this, dcl1] {
+        std::size_t sum = 0;
+        if (dcl1) {
+            for (auto &node : nodes_)
+                sum += node->cache().mshrInUse();
+        } else {
+            for (auto &core : cores_)
+                if (core->l1())
+                    sum += core->l1()->mshrInUse();
+        }
+        return sum;
+    };
+    tl.addGauge("mshr_occupancy",
+                [mshr_in_use] { return double(mshr_in_use()); });
+
+    tl.addRatio(
+        "dram_row_hit_rate",
+        [this] {
+            std::uint64_t sum = 0;
+            for (auto &ch : channels_)
+                if (const auto *h = ch->statGroup().findScalar("row_hits"))
+                    sum += h->value();
+            return sum;
+        },
+        [this] {
+            std::uint64_t sum = 0;
+            for (auto &ch : channels_) {
+                if (const auto *h = ch->statGroup().findScalar("row_hits"))
+                    sum += h->value();
+                if (const auto *m =
+                        ch->statGroup().findScalar("row_misses"))
+                    sum += m->value();
+            }
+            return sum;
+        });
+    tl.addPerCycle("dram_access", [this] {
+        std::uint64_t sum = 0;
+        for (auto &ch : channels_)
+            sum += ch->reads() + ch->writes();
+        return sum;
+    });
+    auto dram_queue = [this] {
+        std::size_t sum = 0;
+        for (auto &ch : channels_)
+            sum += ch->queueSize() + ch->inServiceSize();
+        return sum;
+    };
+    tl.addGauge("dram_queue", [dram_queue] { return double(dram_queue()); });
+
+    if (dcl1) {
+        tl.addGaugeArray("node_q1", nodes_.size(), [this](std::size_t i) {
+            return double(nodes_[i]->q1Size());
+        });
+        tl.addGaugeArray("node_q2", nodes_.size(), [this](std::size_t i) {
+            return double(nodes_[i]->q2Size());
+        });
+        tl.addGaugeArray("node_q3", nodes_.size(), [this](std::size_t i) {
+            return double(nodes_[i]->q3Size());
+        });
+        tl.addGaugeArray("node_q4", nodes_.size(), [this](std::size_t i) {
+            return double(nodes_[i]->q4Size());
+        });
+    }
+
+    // Per-interval utilization tracks for the trace exporter: already
+    // decimated to one point per timeline interval.
+    tl.setSampleHook([this, mshr_in_use, dram_queue](Cycle now, Cycle) {
+        if (!trace_)
+            return;
+        trace_->counterEvent("mshr_occupancy", now, // lint: trace-ok
+                             double(mshr_in_use()));
+        trace_->counterEvent("dram_queue", now, // lint: trace-ok
+                             double(dram_queue()));
+    });
+}
+
+void
+GpuSystem::enableLatency(std::uint32_t sample_every)
+{
+    tlm_ = std::make_unique<stats::LatencyAttribution>(
+        sys_.seed ^ 0x9e3779b97f4a7c15ull, sample_every);
+    for (auto &core : cores_)
+        core->setTelemetry(tlm_.get());
+}
+
+void
+GpuSystem::enableTrace(stats::TraceExport *trace)
+{
+    if (trace_ && stats::tlsTraceSink() == trace_)
+        stats::tlsTraceSink() = nullptr;
+    trace_ = trace;
+    if (trace_)
+        stats::tlsTraceSink() = trace_;
+}
+
+void
+GpuSystem::finishTelemetry()
+{
+    if (timeline_)
+        timeline_->finish(cycle_);
 }
 
 RunMetrics

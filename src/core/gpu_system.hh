@@ -32,10 +32,19 @@
 #include "mem/replication_tracker.hh"
 #include "noc/cdxbar.hh"
 #include "noc/crossbar.hh"
+#include "stats/latency_attr.hh"
+#include "stats/timeline.hh"
+#include "stats/trace_export.hh"
 #include "workload/synthetic.hh"
 
 namespace dcl1::core
 {
+
+/**
+ * Timeline sampling interval: DCL1_TIMELINE_INTERVAL (strictly
+ * parsed), default 1024 cycles.
+ */
+Cycle timelineIntervalFromEnv();
 
 /** Results of a measured simulation interval. */
 struct RunMetrics
@@ -123,6 +132,41 @@ class GpuSystem
     /** Dump every component's statistics as "path value" lines. */
     void dumpStats(std::ostream &os);
 
+    /** Dump the same statistics tree as one JSON document. */
+    void dumpStatsJson(std::ostream &os);
+
+    /// @name Telemetry (all optional; zero-cost when not enabled)
+    /// @{
+    /**
+     * Attach a cycle-interval timeline sampler emitting one JSONL row
+     * per @p interval cycles through @p sink. Probes (IPC, miss rates,
+     * flit rates, queue depths, ...) snapshot counter deltas, so rows
+     * describe intervals, not cumulative state. Call before run().
+     */
+    void enableTimeline(Cycle interval, stats::LineSink sink);
+
+    /**
+     * Enable request-latency attribution, sampling 1 in
+     * @p sample_every read requests (1 = all). Deterministically
+     * seeded from the platform seed.
+     */
+    void enableLatency(std::uint32_t sample_every = 1);
+
+    /**
+     * Route sampled request lifecycles (and, when a timeline is also
+     * enabled, per-interval utilization counters) into @p trace. The
+     * exporter is bound to the calling thread — the thread that runs
+     * the simulation. Not owned; pass nullptr to detach.
+     */
+    void enableTrace(stats::TraceExport *trace);
+
+    /** Flush the timeline's final partial row. Call after run(). */
+    void finishTelemetry();
+
+    stats::TimelineSampler *timeline() { return timeline_.get(); }
+    stats::LatencyAttribution *latency() { return tlm_.get(); }
+    /// @}
+
     /**
      * System-wide invariant audit (DCL1_CHECK builds; no-op otherwise):
      * tag-array vs. replication-directory consistency and the internal
@@ -185,6 +229,10 @@ class GpuSystem
     mem::CacheBankParams l1BankParams() const;
     mem::CacheBankParams l2BankParams() const;
 
+    /** Attach every component StatGroup (and telemetry) to @p root. */
+    void addStatChildren(stats::StatGroup &root);
+    void registerTimelineProbes();
+
     SystemConfig sys_;
     DesignConfig design_;
 
@@ -217,6 +265,10 @@ class GpuSystem
     std::vector<std::unique_ptr<noc::Crossbar>> noc2Req_;   ///< per M|1
     std::vector<std::unique_ptr<noc::Crossbar>> noc2Reply_;
     /// @}
+
+    std::unique_ptr<stats::TimelineSampler> timeline_;
+    std::unique_ptr<stats::LatencyAttribution> tlm_;
+    stats::TraceExport *trace_ = nullptr; ///< not owned
 
     Cycle cycle_ = 0;
     Cycle statStart_ = 0;

@@ -159,11 +159,25 @@ class JobContext
 
     const std::string &crashContext() const { return crashContext_; }
 
+    /**
+     * Record where this job wrote its cycle-interval timeline (empty =
+     * no timeline). Propagated into the JobResult, the per-job JSONL
+     * record and the durable WAL, so a resumed run can locate the
+     * partial timeline of a job it is skipping.
+     */
+    void setTimelinePath(std::string path)
+    {
+        timelinePath_ = std::move(path);
+    }
+
+    const std::string &timelinePath() const { return timelinePath_; }
+
   private:
     std::size_t index_;
     unsigned worker_;
     Cycle cycleBudget_;
     std::string crashContext_;
+    std::string timelinePath_;
 };
 
 /** The work itself: runs on one worker thread, returns the metrics. */
@@ -198,6 +212,7 @@ struct JobResult
     core::RunMetrics metrics; ///< valid only when ok
     double wallMs = 0.0;      ///< host wall time of this job
     unsigned worker = 0;      ///< worker thread that executed it
+    std::string timelinePath; ///< per-job timeline JSONL ("" = none)
 };
 
 } // namespace dcl1::exec

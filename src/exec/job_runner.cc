@@ -186,6 +186,7 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             r.quarantined = rec->quarantined;
             r.resumed = true;
             r.metrics = rec->metrics;
+            r.timelinePath = rec->timeline;
             results[i] = std::move(r);
             pending[i] = 0;
             for_sinks([&](ResultSink &s) { s.onJobDone(results[i]); });
@@ -252,6 +253,8 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             r.attempts = attempt + 1;
             if (!ctx.crashContext().empty())
                 crash_context = ctx.crashContext();
+            if (!ctx.timelinePath().empty())
+                r.timelinePath = ctx.timelinePath();
             if (r.ok)
                 break;
             if (r.kind == FailureKind::SimBug ||
@@ -281,6 +284,7 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             rec.kind = r.kind;
             rec.error = r.error;
             rec.metrics = r.metrics;
+            rec.timeline = r.timelinePath;
             std::lock_guard<std::mutex> lock(manifest_mutex);
             manifest_->append(rec);
         }

@@ -1,12 +1,33 @@
 #include "exec/job_set.hh"
 
+#include <cctype>
+
 #include "check/check.hh"
 #include "common/log.hh"
+#include "exec/atomic_file.hh"
 #include "exec/crash_record.hh"
 #include "exec/result_sink.hh"
 
 namespace dcl1::exec
 {
+
+namespace
+{
+
+/** "<dir>/job007-Sh40_T-AlexNet.jsonl" (crash-record sanitization). */
+std::string
+timelineFileName(std::size_t index, const std::string &label)
+{
+    std::string safe;
+    for (const char c : label)
+        safe += (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '-' || c == '+' || c == '.')
+                    ? c
+                    : '_';
+    return csprintf("job%03zu-%s.jsonl", index, safe.c_str());
+}
+
+} // anonymous namespace
 
 core::RunMetrics
 runCell(const GridCell &cell, JobContext &ctx)
@@ -31,12 +52,29 @@ runCell(const GridCell &cell, JobContext &ctx)
                              cell.opts.measureCycles);
 
     core::GpuSystem gpu(cell.sys, cell.design, cell.app);
+
+    // Per-cell timeline: rows land line-atomically, so even the
+    // timeline of a job killed mid-run parses up to its last sample.
+    std::unique_ptr<AppendLog> timeline_log;
+    if (!cell.timelinePath.empty()) {
+        timeline_log = std::make_unique<AppendLog>(cell.timelinePath);
+        const Cycle interval = cell.timelineInterval != 0
+                                   ? cell.timelineInterval
+                                   : core::timelineIntervalFromEnv();
+        AppendLog *log = timeline_log.get();
+        gpu.enableTimeline(interval, [log](const std::string &row) {
+            log->appendLine(row);
+        });
+        ctx.setTimelinePath(cell.timelinePath);
+    }
+
     core::GpuSystem::CycleHeartbeat heartbeat;
     if (ctx.cycleBudget() != 0)
         heartbeat = [&ctx](Cycle now) { ctx.checkCycleBudget(now); };
     try {
         gpu.run(cell.opts.measureCycles, cell.opts.warmupCycles,
                 heartbeat);
+        gpu.finishTelemetry();
         // Full audit at the end of the measured interval, exactly like
         // core::runOnce; run() itself audits on a power-of-two cadence.
         DCL1_CHECK_ONLY(gpu.checkInvariants("exec::runCell"));
@@ -77,10 +115,16 @@ JobSet::addCell(const core::SystemConfig &sys,
     sys.validate();
     design.validate(sys);
 
-    GridCell cell{sys, design, app, opts};
+    GridCell cell{sys, design, app, opts, "", 0};
     JobSpec spec;
     spec.label = design.name + "/" + app.name;
     spec.key = key;
+    if (!timelineDir_.empty()) {
+        cell.timelinePath =
+            timelineDir_ + "/" +
+            timelineFileName(specs_.size(), spec.label);
+        cell.timelineInterval = timelineInterval_;
+    }
     spec.fn = [cell = std::move(cell)](JobContext &ctx) {
         return runCell(cell, ctx);
     };
@@ -89,6 +133,15 @@ JobSet::addCell(const core::SystemConfig &sys,
     const std::size_t index = specs_.size() - 1;
     keyToIndex_.emplace(key, index);
     return index;
+}
+
+void
+JobSet::setTimelineDir(std::string dir, Cycle interval)
+{
+    if (!dir.empty())
+        ensureDirectory(dir);
+    timelineDir_ = std::move(dir);
+    timelineInterval_ = interval;
 }
 
 std::size_t

@@ -34,6 +34,12 @@ struct GridCell
     core::DesignConfig design;
     workload::WorkloadParams app;
     core::ExperimentOptions opts;
+
+    /// @name Per-cell telemetry (set by JobSet::setTimelineDir)
+    /// @{
+    std::string timelinePath;   ///< timeline JSONL ("" = no timeline)
+    Cycle timelineInterval = 0; ///< 0 = timelineIntervalFromEnv()
+    /// @}
 };
 
 /**
@@ -60,6 +66,14 @@ class JobSet
     /** Add an arbitrary job (no memoization). Returns its index. */
     std::size_t add(std::string label, JobFn fn);
 
+    /**
+     * Emit a per-cell cycle-interval timeline for every cell added
+     * *after* this call: "<dir>/job<index>-<label>.jsonl", written
+     * through the crash-safe AppendLog. @p interval 0 defers to
+     * DCL1_TIMELINE_INTERVAL.
+     */
+    void setTimelineDir(std::string dir, Cycle interval = 0);
+
     std::size_t size() const { return specs_.size(); }
     const std::string &label(std::size_t i) const
     {
@@ -81,6 +95,8 @@ class JobSet
     std::map<std::string, std::size_t> keyToIndex_;
     std::size_t cellsRequested_ = 0;
     std::size_t cellsScheduled_ = 0;
+    std::string timelineDir_;
+    Cycle timelineInterval_ = 0;
 };
 
 } // namespace dcl1::exec

@@ -95,6 +95,21 @@ ProgressSink::onRunEnd(const RunSummary &summary,
             std::fprintf(stderr, "[exec]   %9.1f ms  %s\n",
                          results[idx].wallMs, results[idx].label.c_str());
     }
+    // Surface where each job's timeline landed (including jobs that
+    // failed or were resumed), so partial timelines are findable
+    // without grepping jobs.jsonl.
+    std::size_t timelines = 0;
+    for (const JobResult &r : results)
+        if (!r.timelinePath.empty())
+            ++timelines;
+    if (timelines > 0) {
+        std::fprintf(stderr, "[exec] timelines (%zu):\n", timelines);
+        for (const JobResult &r : results)
+            if (!r.timelinePath.empty())
+                std::fprintf(stderr, "[exec]   %-28s %s%s\n",
+                             r.label.c_str(), r.timelinePath.c_str(),
+                             r.ok ? "" : " [partial]");
+    }
 }
 
 JsonlSink::JsonlSink(std::string path) : log_(std::move(path))
@@ -112,14 +127,15 @@ JsonlSink::onJobDone(const JobResult &result)
         "\"quarantined\":%s,\"kind\":\"%s\",\"attempts\":%u,"
         "\"worker\":%u,"
         "\"wall_ms\":%.3f,\"cycles\":%llu,\"instructions\":%llu,"
-        "\"ipc\":%.6f,\"error\":\"%s\"}",
+        "\"ipc\":%.6f,\"error\":\"%s\",\"timeline\":\"%s\"}",
         result.index, jsonEscape(result.label).c_str(),
         result.ok ? "true" : "false", result.resumed ? "true" : "false",
         result.quarantined ? "true" : "false",
         failureKindName(result.kind), result.attempts, result.worker,
         result.wallMs, static_cast<unsigned long long>(m.cycles),
         static_cast<unsigned long long>(m.instructions), m.ipc,
-        jsonEscape(result.error).c_str()));
+        jsonEscape(result.error).c_str(),
+        jsonEscape(result.timelinePath).c_str()));
 }
 
 void

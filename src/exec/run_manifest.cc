@@ -191,11 +191,11 @@ JobRecord::toJsonLine() const
     return csprintf(
         "{\"key\":\"%s\",\"label\":\"%s\",\"ok\":%s,"
         "\"quarantined\":%s,\"attempts\":%u,\"kind\":\"%s\","
-        "\"metrics\":%s,\"error\":\"%s\"}",
+        "\"metrics\":%s,\"error\":\"%s\",\"timeline\":\"%s\"}",
         jsonEscape(key).c_str(), jsonEscape(label).c_str(),
         ok ? "true" : "false", quarantined ? "true" : "false", attempts,
         failureKindName(kind), runMetricsJson(metrics).c_str(),
-        jsonEscape(error).c_str());
+        jsonEscape(error).c_str(), jsonEscape(timeline).c_str());
 }
 
 bool
@@ -223,6 +223,9 @@ JobRecord::fromJsonLine(const std::string &line, JobRecord &out)
                 out.kind = k;
     }
     jsonFieldString(line, "error", out.error);
+    // Absent in schema-compatible records from before the telemetry
+    // layer; those jobs simply have no timeline to point at.
+    jsonFieldString(line, "timeline", out.timeline);
     const std::string metrics = jsonFieldRaw(line, "metrics");
     if (out.ok &&
         (metrics.empty() || !parseRunMetricsJson(metrics, out.metrics)))

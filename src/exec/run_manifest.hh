@@ -80,6 +80,7 @@ struct JobRecord
     FailureKind kind = FailureKind::None;
     std::string error;
     core::RunMetrics metrics; ///< valid only when ok
+    std::string timeline;     ///< timeline JSONL path ("" = none)
 
     /** One JSONL line. */
     std::string toJsonLine() const;

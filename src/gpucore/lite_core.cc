@@ -119,6 +119,10 @@ LiteCore::issue(Cycle now)
             // point: everything the machine does with this request
             // from here on is audited.
             DCL1_CHECK_ONLY(check::ledger().onCreate(*req, now));
+            // Attribution samples read-class requests only: writes are
+            // fire-and-forget and never enter readLatencySum.
+            if (tlm_ && !req->isWrite())
+                tlm_->onCreate(req->tlm, now);
             lsu_.push(std::move(req));
         }
         outstandingWrites_ += writes;
@@ -176,6 +180,8 @@ LiteCore::pumpL1(Cycle now)
             --outstandingWrites_;
             continue;
         }
+        if (tlm_)
+            tlm_->onRetire(req->tlm, now);
         readLatencySum_ += now - req->createdAt;
         preServiceSum_ += req->l1ServiceAt - req->createdAt;
         ++readsCompleted_;
@@ -245,6 +251,8 @@ LiteCore::deliverReply(mem::MemRequestPtr reply, Cycle now)
         --outstandingWrites_;
         return;
     }
+    if (tlm_)
+        tlm_->onRetire(reply->tlm, now);
     readLatencySum_ += now - reply->createdAt;
     if (reply->l1ServiceAt >= reply->createdAt)
         preServiceSum_ += reply->l1ServiceAt - reply->createdAt;

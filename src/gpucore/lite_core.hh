@@ -25,6 +25,7 @@
 #include "mem/cache_bank.hh"
 #include "mem/queues.hh"
 #include "mem/request.hh"
+#include "stats/latency_attr.hh"
 #include "stats/stats.hh"
 #include "workload/workload.hh"
 
@@ -73,6 +74,13 @@ class LiteCore
 
     /** Gate instruction issue (used by GpuSystem::drain). */
     void setIssueEnabled(bool enabled) { issueEnabled_ = enabled; }
+
+    /**
+     * Attach the system's latency-attribution sampler (null to
+     * detach). The core is where requests are born and retire, so it
+     * owns both attribution endpoints.
+     */
+    void setTelemetry(stats::LatencyAttribution *tlm) { tlm_ = tlm; }
 
     /// @name NoC-facing side
     /// @{
@@ -143,6 +151,7 @@ class LiteCore
     std::uint32_t outstandingWrites_ = 0;
     std::uint64_t outstandingReads_ = 0;
     bool issueEnabled_ = true;
+    stats::LatencyAttribution *tlm_ = nullptr;
 
     stats::StatGroup statGroup_;
     stats::Scalar instructions_;

@@ -120,6 +120,7 @@ CacheBank::access(MemRequestPtr &req, Cycle now)
     lastPortCycle_ = now;
     ++accesses_;
     req->l1ServiceAt = now;
+    stats::tlmEnter(req->tlm, params_.tlmSeg, now);
     DCL1_CHECK_ONLY(
         check::ledger().onTransition(*req, check::ReqStage::AtCache));
 
@@ -235,6 +236,7 @@ CacheBank::fill(MemRequestPtr reply, Cycle now)
     // Q4) is now inside this cache level.
     DCL1_CHECK_ONLY(
         check::ledger().onTransition(*reply, check::ReqStage::AtCache));
+    stats::tlmEnter(reply->tlm, params_.tlmSeg, now);
     if (reply->isWrite()) {
         // Write-through ACK (WriteEvict): complete the original write.
         scheduleCompletion(std::move(reply), now);

@@ -30,6 +30,7 @@
 #include "mem/queues.hh"
 #include "mem/request.hh"
 #include "mem/tag_array.hh"
+#include "stats/latency_attr.hh"
 #include "stats/stats.hh"
 
 namespace dcl1::mem
@@ -64,6 +65,10 @@ struct CacheBankParams
     WritePolicy policy = WritePolicy::WriteEvict;
     ReplPolicy repl = ReplPolicy::Lru;   ///< victim selection
     bool perfect = false;                ///< 100 % hit rate (reads)
+
+    /** Latency-attribution segment this bank's time is charged to
+     *  (Cache for L1/DC-L1 banks, L2 for the L2 slices). */
+    stats::Seg tlmSeg = stats::Seg::Cache;
 
     std::uint32_t
     numSets() const

@@ -50,6 +50,7 @@ DramChannel::push(MemRequestPtr req, Cycle now)
         panic("dram %s: push to full queue", params_.name.c_str());
     DCL1_CHECK_ONLY(
         check::ledger().onTransition(*req, check::ReqStage::AtDram));
+    stats::tlmEnter(req->tlm, stats::Seg::Dram, now);
     queue_.push_back(Queued{std::move(req), now});
 }
 

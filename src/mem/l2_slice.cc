@@ -29,12 +29,13 @@ L2Slice::L2Slice(CacheBankParams params, SliceId slice_id,
 }
 
 void
-L2Slice::pushRequest(MemRequestPtr req)
+L2Slice::pushRequest(MemRequestPtr req, Cycle now)
 {
     if (!input_.canPush())
         panic("L2Slice %u: push to full input queue", sliceId_);
     DCL1_CHECK_ONLY(
         check::ledger().onTransition(*req, check::ReqStage::AtCache));
+    stats::tlmEnter(req->tlm, stats::Seg::L2, now);
     input_.push(std::move(req));
 }
 

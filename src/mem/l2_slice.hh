@@ -32,8 +32,8 @@ class L2Slice
     /** Room in the input queue (NoC ejection side)? */
     bool canAcceptRequest() const { return input_.canPush(); }
 
-    /** Deliver a request from the NoC. */
-    void pushRequest(MemRequestPtr req);
+    /** Deliver a request from the NoC at cycle @p now. */
+    void pushRequest(MemRequestPtr req, Cycle now);
 
     /**
      * Advance one core cycle: serve the input queue, drain bank misses

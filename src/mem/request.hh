@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "common/types.hh"
+#include "stats/latency_attr.hh"
 
 namespace dcl1::mem
 {
@@ -87,6 +88,13 @@ struct MemRequest
      * machine (see check/request_ledger.hh).
      */
     std::uint64_t chkSeq = 0;
+
+    /**
+     * Latency-attribution state; dormant (sampleId == 0) unless this
+     * request was picked by the system's LatencyAttribution sampler
+     * (see stats/latency_attr.hh).
+     */
+    stats::ReqTelemetry tlm;
 
     bool isFetch() const { return fetchDepth > 0; }
 

@@ -1,11 +1,20 @@
 #include "stats/stats.hh"
 
 #include <algorithm>
+#include <charconv>
 
 #include "common/log.hh"
 
 namespace dcl1::stats
 {
+
+std::string
+formatDouble(double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
 
 Distribution::Distribution(std::uint64_t bucket_width,
                            std::uint32_t num_buckets)
@@ -105,12 +114,67 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         os << full << "." << name << " " << s->value() << "\n";
     for (const auto &[name, d] : dists_) {
         os << full << "." << name << ".count " << d->count() << "\n";
-        os << full << "." << name << ".mean " << d->mean() << "\n";
+        os << full << "." << name << ".mean " << formatDouble(d->mean())
+           << "\n";
         os << full << "." << name << ".min " << d->min() << "\n";
         os << full << "." << name << ".max " << d->max() << "\n";
+        os << full << "." << name << ".p50 "
+           << formatDouble(d->percentile(50)) << "\n";
+        os << full << "." << name << ".p95 "
+           << formatDouble(d->percentile(95)) << "\n";
+        os << full << "." << name << ".p99 "
+           << formatDouble(d->percentile(99)) << "\n";
     }
     for (const auto *c : children_)
         c->dump(os, full);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"name\":\"" << name_ << "\"";
+    if (!scalars_.empty()) {
+        os << ",\"scalars\":{";
+        bool first = true;
+        for (const auto &[name, s] : scalars_) {
+            os << (first ? "" : ",") << "\"" << name
+               << "\":" << s->value();
+            first = false;
+        }
+        os << "}";
+    }
+    if (!dists_.empty()) {
+        os << ",\"dists\":{";
+        bool first = true;
+        for (const auto &[name, d] : dists_) {
+            os << (first ? "" : ",") << "\"" << name << "\":{"
+               << "\"count\":" << d->count() << ",\"sum\":" << d->sum()
+               << ",\"min\":" << d->min() << ",\"max\":" << d->max()
+               << ",\"mean\":" << formatDouble(d->mean())
+               << ",\"p50\":" << formatDouble(d->percentile(50))
+               << ",\"p95\":" << formatDouble(d->percentile(95))
+               << ",\"p99\":" << formatDouble(d->percentile(99))
+               << ",\"bucket_width\":" << d->bucketWidth()
+               << ",\"overflow\":" << d->overflow() << ",\"buckets\":[";
+            for (std::uint32_t i = 0; i < d->numBuckets(); ++i)
+                os << (i ? "," : "") << d->bucket(i);
+            os << "]}";
+            first = false;
+        }
+        os << "}";
+    }
+    if (!children_.empty()) {
+        os << ",\"children\":[";
+        bool first = true;
+        for (const auto *c : children_) {
+            if (!first)
+                os << ",";
+            first = false;
+            c->dumpJson(os);
+        }
+        os << "]";
+    }
+    os << "}";
 }
 
 const Scalar *
@@ -119,6 +183,35 @@ StatGroup::findScalar(const std::string &name) const
     for (const auto &[n, s] : scalars_)
         if (n == name)
             return s;
+    // Dotted-path descent: "child.rest" where the child name itself
+    // may contain dots, so match whole registered child names.
+    for (const auto *c : children_) {
+        const std::string &cn = c->name();
+        if (name.size() > cn.size() + 1 && name[cn.size()] == '.' &&
+            name.compare(0, cn.size(), cn) == 0) {
+            if (const Scalar *s =
+                    c->findScalar(name.substr(cn.size() + 1)))
+                return s;
+        }
+    }
+    return nullptr;
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &name) const
+{
+    for (const auto &[n, d] : dists_)
+        if (n == name)
+            return d;
+    for (const auto *c : children_) {
+        const std::string &cn = c->name();
+        if (name.size() > cn.size() + 1 && name[cn.size()] == '.' &&
+            name.compare(0, cn.size(), cn) == 0) {
+            if (const Distribution *d =
+                    c->findDistribution(name.substr(cn.size() + 1)))
+                return d;
+        }
+    }
     return nullptr;
 }
 

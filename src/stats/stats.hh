@@ -18,6 +18,13 @@
 namespace dcl1::stats
 {
 
+/**
+ * Shortest-round-trip decimal rendering of a double (std::to_chars),
+ * byte-stable across locales and stream precision defaults. All stat
+ * output (dump, dumpJson, timelines) funnels doubles through here.
+ */
+std::string formatDouble(double v);
+
 /** A named 64-bit accumulating counter. */
 class Scalar
 {
@@ -114,10 +121,28 @@ class StatGroup
     /** Dump "group.stat value" lines, depth-first. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Dump the tree as one JSON object: scalars as integers,
+     * distributions as {count, sum, min, max, mean, p50, p95, p99,
+     * bucket_width, buckets, overflow}, children nested by name.
+     * Ordering follows registration order, so output is deterministic.
+     */
+    void dumpJson(std::ostream &os) const;
+
     const std::string &name() const { return name_; }
 
-    /** Look up a registered scalar by name; nullptr if absent. */
+    /**
+     * Look up a registered scalar by name; nullptr if absent. A name
+     * without a matching flat entry is resolved as a dotted path into
+     * child groups ("noc.req.flits"). Child names may themselves
+     * contain dots (the crossbars register as "noc.req" etc.), so the
+     * path is matched against whole child names, never split blindly
+     * at the first dot.
+     */
     const Scalar *findScalar(const std::string &name) const;
+
+    /** Distribution lookup with the same flat-then-dotted rules. */
+    const Distribution *findDistribution(const std::string &name) const;
 
   private:
     std::string name_;

@@ -1,0 +1,175 @@
+#include "stats/timeline.hh"
+
+#include "common/log.hh"
+#include "stats/stats.hh"
+
+namespace dcl1::stats
+{
+
+TimelineSampler::TimelineSampler(Cycle interval, LineSink sink)
+    : interval_(interval == 0 ? 1 : interval), sink_(std::move(sink))
+{
+    if (!sink_)
+        fatal("TimelineSampler: null line sink");
+}
+
+void
+TimelineSampler::addCounter(std::string name, CounterFn fn)
+{
+    Probe p;
+    p.kind = Probe::Kind::Counter;
+    p.name = std::move(name);
+    p.num = std::move(fn);
+    probes_.push_back(std::move(p));
+}
+
+void
+TimelineSampler::addPerCycle(std::string name, CounterFn fn)
+{
+    Probe p;
+    p.kind = Probe::Kind::PerCycle;
+    p.name = std::move(name);
+    p.num = std::move(fn);
+    probes_.push_back(std::move(p));
+}
+
+void
+TimelineSampler::addRatio(std::string name, CounterFn num, CounterFn den)
+{
+    Probe p;
+    p.kind = Probe::Kind::Ratio;
+    p.name = std::move(name);
+    p.num = std::move(num);
+    p.den = std::move(den);
+    probes_.push_back(std::move(p));
+}
+
+void
+TimelineSampler::addGauge(std::string name, GaugeFn fn)
+{
+    Probe p;
+    p.kind = Probe::Kind::Gauge;
+    p.name = std::move(name);
+    p.gauge = std::move(fn);
+    probes_.push_back(std::move(p));
+}
+
+void
+TimelineSampler::addGaugeArray(std::string name, std::size_t count,
+                               GaugeAtFn fn)
+{
+    Probe p;
+    p.kind = Probe::Kind::GaugeArray;
+    p.name = std::move(name);
+    p.count = count;
+    p.gaugeAt = std::move(fn);
+    probes_.push_back(std::move(p));
+}
+
+void
+TimelineSampler::setSampleHook(std::function<void(Cycle, Cycle)> hook)
+{
+    hook_ = std::move(hook);
+}
+
+void
+TimelineSampler::start(Cycle now)
+{
+    for (Probe &p : probes_) {
+        if (p.num)
+            p.lastNum = p.num();
+        if (p.den)
+            p.lastDen = p.den();
+    }
+    lastCycle_ = now;
+    nextSample_ = now + interval_;
+    started_ = true;
+}
+
+void
+TimelineSampler::flushTail(Cycle now)
+{
+    if (started_ && now > lastCycle_)
+        sampleNow(now);
+}
+
+void
+TimelineSampler::rebase(Cycle now)
+{
+    phase_ = "measure";
+    start(now);
+}
+
+void
+TimelineSampler::finish(Cycle now)
+{
+    flushTail(now);
+}
+
+void
+TimelineSampler::sampleNow(Cycle now)
+{
+    const Cycle dt = now - lastCycle_;
+    if (dt == 0)
+        return;
+    std::string row;
+    row.reserve(192);
+    row += "{\"cycle\":";
+    row += std::to_string(now);
+    row += ",\"dt\":";
+    row += std::to_string(dt);
+    row += ",\"phase\":\"";
+    row += phase_;
+    row += "\"";
+    for (Probe &p : probes_) {
+        row += ",\"";
+        row += p.name;
+        row += "\":";
+        switch (p.kind) {
+          case Probe::Kind::Counter: {
+            const std::uint64_t v = p.num();
+            row += std::to_string(v - p.lastNum);
+            p.lastNum = v;
+            break;
+          }
+          case Probe::Kind::PerCycle: {
+            const std::uint64_t v = p.num();
+            row += formatDouble(double(v - p.lastNum) / double(dt));
+            p.lastNum = v;
+            break;
+          }
+          case Probe::Kind::Ratio: {
+            const std::uint64_t n = p.num();
+            const std::uint64_t d = p.den();
+            const std::uint64_t dn = n - p.lastNum;
+            const std::uint64_t dd = d - p.lastDen;
+            row += formatDouble(dd ? double(dn) / double(dd) : 0.0);
+            p.lastNum = n;
+            p.lastDen = d;
+            break;
+          }
+          case Probe::Kind::Gauge:
+            row += formatDouble(p.gauge());
+            break;
+          case Probe::Kind::GaugeArray: {
+            row += "[";
+            for (std::size_t i = 0; i < p.count; ++i) {
+                if (i)
+                    row += ",";
+                row += formatDouble(p.gaugeAt(i));
+            }
+            row += "]";
+            break;
+          }
+        }
+    }
+    row += "}";
+    sink_(row);
+    ++rows_;
+    if (hook_)
+        hook_(now, dt);
+    lastCycle_ = now;
+    nextSample_ = now + interval_;
+}
+
+} // namespace dcl1::stats

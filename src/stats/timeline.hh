@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cycle-interval timeline sampler.
+ *
+ * Rides the GpuSystem run loop: every N cycles it snapshots registered
+ * probes and emits one JSONL row describing the interval — counter
+ * *deltas* normalized as rates/ratios, plus instantaneous gauges — so
+ * warmup drift, queue saturation and phase behavior become visible per
+ * run instead of being averaged away in end-of-run aggregates.
+ *
+ * The sampler owns no file handle: rows go to an injected LineSink, so
+ * this layer stays free of I/O policy and the tools can route rows
+ * through the crash-safe exec::AppendLog writer.
+ *
+ * Probe kinds:
+ *  - counter:   emits value(now) - value(previous sample)
+ *  - per-cycle: counter delta divided by the interval length
+ *  - ratio:     delta(numerator) / delta(denominator), 0 when the
+ *               denominator did not move
+ *  - gauge:     instantaneous double
+ *  - gauge array: fixed-length instantaneous vector (queue depths)
+ */
+
+#ifndef DCL1_STATS_TIMELINE_HH
+#define DCL1_STATS_TIMELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcl1::stats
+{
+
+/** Receives one finished JSONL row (no trailing newline). */
+using LineSink = std::function<void(const std::string &)>;
+
+class TimelineSampler
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+    using GaugeAtFn = std::function<double(std::size_t)>;
+
+    TimelineSampler(Cycle interval, LineSink sink);
+
+    void addCounter(std::string name, CounterFn fn);
+    void addPerCycle(std::string name, CounterFn fn);
+    void addRatio(std::string name, CounterFn num, CounterFn den);
+    void addGauge(std::string name, GaugeFn fn);
+    void addGaugeArray(std::string name, std::size_t count, GaugeAtFn fn);
+
+    /**
+     * Called once per emitted row with (cycle, dt); the system uses it
+     * to feed per-interval counter tracks into the trace exporter.
+     */
+    void setSampleHook(std::function<void(Cycle, Cycle)> hook);
+
+    /** Record probe baselines; first row covers (now, now+interval]. */
+    void start(Cycle now);
+
+    /** Hot-path check, one compare when no sample is due. */
+    void
+    maybeSample(Cycle now)
+    {
+        if (now >= nextSample_)
+            sampleNow(now);
+    }
+
+    /** Emit a partial row for any cycles since the last sample. */
+    void flushTail(Cycle now);
+
+    /**
+     * Re-read baselines after a stats reset and switch the row phase
+     * from "warmup" to "measure"; the reset's counter discontinuity
+     * never reaches a row.
+     */
+    void rebase(Cycle now);
+
+    /** Flush the final partial row at end of run. */
+    void finish(Cycle now);
+
+    Cycle interval() const { return interval_; }
+    std::uint64_t rows() const { return rows_; }
+
+  private:
+    struct Probe
+    {
+        enum class Kind : std::uint8_t
+        {
+            Counter,
+            PerCycle,
+            Ratio,
+            Gauge,
+            GaugeArray,
+        };
+        Kind kind;
+        std::string name;
+        CounterFn num;
+        CounterFn den;
+        std::uint64_t lastNum = 0;
+        std::uint64_t lastDen = 0;
+        GaugeFn gauge;
+        std::size_t count = 0;
+        GaugeAtFn gaugeAt;
+    };
+
+    void sampleNow(Cycle now);
+
+    Cycle interval_;
+    LineSink sink_;
+    std::vector<Probe> probes_;
+    std::function<void(Cycle, Cycle)> hook_;
+    Cycle lastCycle_ = 0;
+    Cycle nextSample_ = 0;
+    std::uint64_t rows_ = 0;
+    const char *phase_ = "warmup";
+    bool started_ = false;
+};
+
+} // namespace dcl1::stats
+
+#endif // DCL1_STATS_TIMELINE_HH

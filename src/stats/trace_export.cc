@@ -1,0 +1,81 @@
+#include "stats/trace_export.hh"
+
+#include "stats/stats.hh"
+
+namespace dcl1::stats
+{
+
+TraceExport *&
+tlsTraceSink()
+{
+    thread_local TraceExport *sink = nullptr;
+    return sink;
+}
+
+TraceExport::TraceExport(std::uint32_t request_every,
+                         std::size_t max_events)
+    : requestEvery_(request_every == 0 ? 1 : request_every),
+      maxEvents_(max_events)
+{
+}
+
+void
+TraceExport::reqSlice(std::uint32_t sample_id, const char *seg,
+                      Cycle begin, Cycle end)
+{
+    // Keep 1 in requestEvery_ lifecycles; sample ids are dense (1, 2,
+    // ...), so the subset is deterministic and spread across the run.
+    if ((sample_id - 1) % requestEvery_ != 0)
+        return;
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    Event e{};
+    e.isCounter = false;
+    e.tid = sample_id;
+    e.ts = begin;
+    e.dur = end - begin;
+    e.seg = seg;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceExport::counterEvent(const std::string &track, Cycle t, double value)
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return;
+    }
+    Event e{};
+    e.isCounter = true;
+    e.ts = t;
+    e.track = track;
+    e.value = value;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceExport::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events_) {
+        if (!first)
+            os << ",";
+        first = false;
+        if (e.isCounter) {
+            os << "{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\""
+               << e.track << "\",\"ts\":" << e.ts
+               << ",\"args\":{\"value\":" << formatDouble(e.value)
+               << "}}";
+        } else {
+            os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+               << ",\"name\":\"" << e.seg << "\",\"ts\":" << e.ts
+               << ",\"dur\":" << e.dur << "}";
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+} // namespace dcl1::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Chrome trace-event export.
+ *
+ * Collects two kinds of events and serializes them as a catapult /
+ * Perfetto-loadable JSON trace (chrome://tracing "trace event format"):
+ *
+ *  - "X" complete events: one slice per (sampled request, segment)
+ *    span, emitted live by the latency-attribution slow path. Each
+ *    sampled request gets its own tid so its lifecycle reads as one
+ *    horizontal track.
+ *  - "C" counter events: per-interval utilization tracks (queue
+ *    depths, MSHR occupancy, ...) fed by the timeline sampler's hook.
+ *
+ * Timestamps are simulated cycles reported through the trace format's
+ * microsecond field; absolute wall time is meaningless in a simulator
+ * and never enters the file, so same-seed traces are byte-identical.
+ *
+ * The exporter is wired to the attribution slow path through a
+ * thread_local sink pointer (tlsTraceSink), matching the engine's
+ * one-simulation-per-worker-thread model: parallel jobs never share a
+ * trace buffer.
+ */
+
+#ifndef DCL1_STATS_TRACE_EXPORT_HH
+#define DCL1_STATS_TRACE_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcl1::stats
+{
+
+class TraceExport
+{
+  public:
+    /**
+     * @param request_every keep 1 in N *sampled* request lifecycles
+     *        (on top of attribution's 1-in-N request sampling)
+     * @param max_events hard cap on buffered events; the excess is
+     *        counted in dropped() instead of exhausting memory
+     */
+    explicit TraceExport(std::uint32_t request_every = 16,
+                         std::size_t max_events = 1u << 20);
+
+    /** One request-segment span [begin, end) on track @p sample_id. */
+    void reqSlice(std::uint32_t sample_id, const char *seg, Cycle begin,
+                  Cycle end);
+
+    /** One counter-track sample at cycle @p t. */
+    void counterEvent(const std::string &track, Cycle t, double value);
+
+    /** Serialize the whole trace as one JSON document. */
+    void writeJson(std::ostream &os) const;
+
+    std::size_t events() const { return events_.size(); }
+    std::size_t dropped() const { return dropped_; }
+
+  private:
+    struct Event
+    {
+        bool isCounter;
+        std::uint32_t tid;  ///< sample id for slices, 0 for counters
+        Cycle ts;
+        Cycle dur;          ///< slices only
+        const char *seg;    ///< slices only (static string)
+        std::string track;  ///< counters only
+        double value;       ///< counters only
+    };
+
+    std::uint32_t requestEvery_;
+    std::size_t maxEvents_;
+    std::size_t dropped_ = 0;
+    std::vector<Event> events_;
+};
+
+/**
+ * Per-thread trace sink consulted by the attribution slow path. Null
+ * (no trace) by default; GpuSystem::enableTrace points it at the
+ * system's exporter for the thread running that simulation.
+ */
+TraceExport *&tlsTraceSink();
+
+} // namespace dcl1::stats
+
+#endif // DCL1_STATS_TRACE_EXPORT_HH

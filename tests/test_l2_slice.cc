@@ -63,7 +63,7 @@ fetch(Addr addr, CoreId core = 0)
 TEST(L2Slice, MissGoesToDramAndReplies)
 {
     Rig rig;
-    rig.slice->pushRequest(fetch(0x4000));
+    rig.slice->pushRequest(fetch(0x4000), rig.now);
     auto reply = rig.runUntilReply(500);
     ASSERT_TRUE(reply);
     EXPECT_TRUE(reply->isReply);
@@ -76,10 +76,10 @@ TEST(L2Slice, MissGoesToDramAndReplies)
 TEST(L2Slice, HitServedWithoutDram)
 {
     Rig rig;
-    rig.slice->pushRequest(fetch(0x4000));
+    rig.slice->pushRequest(fetch(0x4000), rig.now);
     ASSERT_TRUE(rig.runUntilReply(500));
 
-    rig.slice->pushRequest(fetch(0x4000, 7));
+    rig.slice->pushRequest(fetch(0x4000, 7), rig.now);
     auto reply = rig.runUntilReply(rig.now + 50);
     ASSERT_TRUE(reply);
     EXPECT_EQ(reply->core, 7u);
@@ -91,7 +91,7 @@ TEST(L2Slice, WriteAckedLocally)
     Rig rig;
     auto w = makeRequest(MemOp::Write, 0x2000, 32, 3, 0, 0);
     w->slice = 0;
-    rig.slice->pushRequest(std::move(w));
+    rig.slice->pushRequest(std::move(w), rig.now);
     auto ack = rig.runUntilReply(100);
     ASSERT_TRUE(ack);
     EXPECT_TRUE(ack->isWrite());
@@ -105,7 +105,7 @@ TEST(L2Slice, BypassAllocatesAtL2)
     auto b = makeRequest(MemOp::Bypass, 0x8000, 128, 1, 0, 0);
     ++b->fetchDepth;
     b->slice = 0;
-    rig.slice->pushRequest(std::move(b));
+    rig.slice->pushRequest(std::move(b), rig.now);
     auto reply = rig.runUntilReply(500);
     ASSERT_TRUE(reply);
     // Instruction/texture data is cached at the L2 level.
@@ -117,7 +117,7 @@ TEST(L2Slice, AtomicDoesNotAllocate)
     Rig rig;
     auto a = makeRequest(MemOp::Atomic, 0x6000, 32, 2, 0, 0);
     a->slice = 0;
-    rig.slice->pushRequest(std::move(a));
+    rig.slice->pushRequest(std::move(a), rig.now);
     auto reply = rig.runUntilReply(500);
     ASSERT_TRUE(reply);
     EXPECT_TRUE(reply->isAtomic());
@@ -129,18 +129,18 @@ TEST(L2Slice, InputBackpressure)
     Rig rig;
     int pushed = 0;
     while (rig.slice->canAcceptRequest()) {
-        rig.slice->pushRequest(fetch(Addr(pushed) * 0x4000));
+        rig.slice->pushRequest(fetch(Addr(pushed) * 0x4000), rig.now);
         ++pushed;
     }
     EXPECT_GT(pushed, 1);
-    EXPECT_DEATH(rig.slice->pushRequest(fetch(0x0)), "full input");
+    EXPECT_DEATH(rig.slice->pushRequest(fetch(0x0), rig.now), "full input");
 }
 
 TEST(L2Slice, BusyUntilDrained)
 {
     Rig rig;
     EXPECT_FALSE(rig.slice->busy());
-    rig.slice->pushRequest(fetch(0x4000));
+    rig.slice->pushRequest(fetch(0x4000), rig.now);
     EXPECT_TRUE(rig.slice->busy());
     ASSERT_TRUE(rig.runUntilReply(500));
     for (int i = 0; i < 10; ++i)
@@ -159,7 +159,7 @@ TEST(L2Slice, DirtyEvictionsReachDramAsWritebacks)
         auto w = makeRequest(MemOp::Write, Addr(i) * 128, 128, 0, 0,
                              rig.now);
         w->slice = 0;
-        rig.slice->pushRequest(std::move(w));
+        rig.slice->pushRequest(std::move(w), rig.now);
         rig.tick();
         while (rig.slice->takeReply()) {
         }

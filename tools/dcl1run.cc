@@ -20,6 +20,17 @@
  *   --seed=N          workload seed
  *   --stats=FILE      dump the full statistics tree ('-' = stdout;
  *                     files are published atomically via tmp+rename)
+ *   --stats-json[=F]  the same tree as one JSON document ('-'/default
+ *                     = stdout)
+ *   --timeline[=F]    cycle-interval timeline JSONL (default
+ *                     timeline.jsonl); one row per interval
+ *   --timeline-interval=N  sampling interval in cycles (default
+ *                     DCL1_TIMELINE_INTERVAL, 1024)
+ *   --latency[=N]     request-latency attribution, sampling 1 in N
+ *                     reads (default 1); prints a latency-breakdown
+ *                     table under the headline metrics
+ *   --trace           Chrome trace-event export to trace.json
+ *                     (--trace-out=FILE renames it); implies --latency
  *   --drain           drain in-flight traffic after the run and report
  *   --budget=N        fail the run after N simulated cycles (watchdog)
  *   --jsonl=FILE      append a JSON run record (timing, outcome)
@@ -70,6 +81,11 @@ struct Options
     std::string app = "T-AlexNet";
     std::string trace;
     std::string statsFile;
+    std::string statsJsonFile;
+    std::string timelineFile;
+    Cycle timelineInterval = 0;    ///< 0 = DCL1_TIMELINE_INTERVAL
+    std::string traceOutFile;
+    std::uint32_t latencyEvery = 0; ///< 0 = attribution disabled
     Cycle cycles = 30000;
     Cycle warmup = 40000;
     std::uint32_t cores = 80;
@@ -109,6 +125,28 @@ parseArgs(int argc, char **argv)
             o.trace = *v;
         else if (auto v = valueOf(a, "--stats"))
             o.statsFile = *v;
+        else if (std::strcmp(a, "--stats-json") == 0)
+            o.statsJsonFile = "-";
+        else if (auto v = valueOf(a, "--stats-json"))
+            o.statsJsonFile = *v;
+        else if (std::strcmp(a, "--timeline") == 0)
+            o.timelineFile = "timeline.jsonl";
+        else if (auto v = valueOf(a, "--timeline"))
+            o.timelineFile = *v;
+        else if (auto v = valueOf(a, "--timeline-interval"))
+            o.timelineInterval = static_cast<Cycle>(parseEnvInt(
+                "--timeline-interval", v->c_str(), 1,
+                std::numeric_limits<std::int64_t>::max()));
+        else if (std::strcmp(a, "--trace") == 0)
+            o.traceOutFile = "trace.json"; // bare: Chrome trace export
+        else if (auto v = valueOf(a, "--trace-out"))
+            o.traceOutFile = *v;
+        else if (std::strcmp(a, "--latency") == 0)
+            o.latencyEvery = 1;
+        else if (auto v = valueOf(a, "--latency"))
+            o.latencyEvery = static_cast<std::uint32_t>(parseEnvInt(
+                "--latency", v->c_str(), 1,
+                std::numeric_limits<std::uint32_t>::max()));
         else if (auto v = valueOf(a, "--cycles"))
             o.cycles = std::strtoull(v->c_str(), nullptr, 10);
         else if (auto v = valueOf(a, "--warmup"))
@@ -162,6 +200,16 @@ printHelp()
         "  --seed=N          workload seed\n"
         "  --stats=FILE      full statistics tree ('-' = stdout; "
         "atomic)\n"
+        "  --stats-json[=F]  statistics tree as JSON ('-'/default = "
+        "stdout)\n"
+        "  --timeline[=F]    interval timeline JSONL "
+        "(timeline.jsonl)\n"
+        "  --timeline-interval=N  cycles per row "
+        "(DCL1_TIMELINE_INTERVAL)\n"
+        "  --latency[=N]     latency attribution, 1-in-N reads "
+        "(default 1)\n"
+        "  --trace           Chrome trace export to trace.json "
+        "(--trace-out=FILE)\n"
         "  --drain           drain in-flight traffic and report\n"
         "  --budget=N        simulated-cycle watchdog\n"
         "  --jsonl=FILE      append a JSON run record\n"
@@ -252,6 +300,29 @@ main(int argc, char **argv)
         gpu = std::make_unique<core::GpuSystem>(sys, design, app.params);
     }
 
+    // Telemetry, all opt-in: attribution first (trace slices come from
+    // attributed requests), then the timeline, then the trace sink.
+    if (!o.traceOutFile.empty() && o.latencyEvery == 0)
+        o.latencyEvery = 1;
+    if (o.latencyEvery > 0)
+        gpu->enableLatency(o.latencyEvery);
+    std::unique_ptr<exec::AppendLog> timeline_log;
+    if (!o.timelineFile.empty()) {
+        timeline_log = std::make_unique<exec::AppendLog>(o.timelineFile);
+        exec::AppendLog *log = timeline_log.get();
+        const Cycle interval = o.timelineInterval != 0
+                                   ? o.timelineInterval
+                                   : core::timelineIntervalFromEnv();
+        gpu->enableTimeline(interval, [log](const std::string &row) {
+            log->appendLine(row);
+        });
+    }
+    std::unique_ptr<stats::TraceExport> trace_export;
+    if (!o.traceOutFile.empty()) {
+        trace_export = std::make_unique<stats::TraceExport>();
+        gpu->enableTrace(trace_export.get());
+    }
+
     // One job on the execution engine (inline on this thread, so
     // drain/stats below stay on the thread that built the machine):
     // faults become a reported failure, and the record carries host
@@ -292,6 +363,7 @@ main(int argc, char **argv)
             heartbeat = [&ctx](Cycle now) { ctx.checkCycleBudget(now); };
         try {
             gpu->run(o.cycles, o.warmup, heartbeat);
+            gpu->finishTelemetry();
         } catch (...) {
             try {
                 ctx.setCrashContext(crash_cfg + "," +
@@ -336,6 +408,11 @@ main(int argc, char **argv)
     std::printf("DRAM       %llu reads, %llu writes\n",
                 static_cast<unsigned long long>(rm.dramReads),
                 static_cast<unsigned long long>(rm.dramWrites));
+    if (gpu->latency()) {
+        std::fflush(stdout);
+        gpu->latency()->printBreakdown(std::cout);
+        std::cout.flush();
+    }
     // Host timing is observability, not simulation output: stderr, so
     // same-seed stdout stays byte-identical across runs.
     std::fprintf(stderr, "host time  %.1f ms\n", results[0].wallMs);
@@ -357,5 +434,28 @@ main(int argc, char **argv)
             inform("stats written to %s", o.statsFile.c_str());
         }
     }
+    if (!o.statsJsonFile.empty()) {
+        if (o.statsJsonFile == "-") {
+            gpu->dumpStatsJson(std::cout);
+        } else {
+            exec::AtomicFileWriter out(o.statsJsonFile);
+            gpu->dumpStatsJson(out.stream());
+            out.commit();
+            inform("stats JSON written to %s", o.statsJsonFile.c_str());
+        }
+    }
+    if (trace_export) {
+        exec::AtomicFileWriter out(o.traceOutFile);
+        trace_export->writeJson(out.stream());
+        out.commit();
+        inform("trace written to %s (%zu events, %zu dropped)",
+               o.traceOutFile.c_str(), trace_export->events(),
+               trace_export->dropped());
+    }
+    if (timeline_log)
+        inform("timeline written to %s (%llu rows)",
+               o.timelineFile.c_str(),
+               static_cast<unsigned long long>(
+                   gpu->timeline() ? gpu->timeline()->rows() : 0));
     return exec::kExitOk;
 }

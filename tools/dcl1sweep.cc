@@ -31,6 +31,13 @@
  * drains in-flight cells, finalizes the manifest, and exits
  * resumable. --jsonl=FILE (or DCL1_JOBS_LOG) appends per-job wall
  * time and outcome records.
+ *
+ * --timeline-dir[=DIR] writes one cycle-interval timeline JSONL per
+ * cell (default DIR: <run-dir>/timeline, or ./timeline without a run
+ * directory); --timeline-interval=N sets the row cadence. Each job's
+ * timeline path is surfaced in the end-of-run report and recorded in
+ * jobs.jsonl, so a resumed run can find the partial timelines of
+ * cells it skips.
  */
 
 #include <cstdio>
@@ -133,6 +140,10 @@ printHelp()
         "                     (DCL1_CRASH_DIR; default <run-dir>/crash)\n"
         "  --jsonl=FILE       append per-job JSON records "
         "(DCL1_JOBS_LOG)\n"
+        "  --timeline-dir[=DIR]  one timeline JSONL per cell (default\n"
+        "                     <run-dir>/timeline or ./timeline)\n"
+        "  --timeline-interval=N  cycles per timeline row\n"
+        "                     (DCL1_TIMELINE_INTERVAL)\n"
         "  --interrupt-after=N  testing: inject SIGINT after N cells\n"
         "\n"
         "%s\n",
@@ -151,6 +162,9 @@ main(int argc, char **argv)
     std::string run_dir;
     bool resume_only = false;
     std::size_t interrupt_after = 0;
+    bool timeline_requested = false;
+    std::string timeline_dir;
+    Cycle timeline_interval = 0;
     exec::ExecOptions eopts = exec::ExecOptions::fromEnv();
     if (const char *dir = std::getenv("DCL1_RUN_DIR"))
         run_dir = dir;
@@ -182,6 +196,15 @@ main(int argc, char **argv)
             eopts.crashDir = a.substr(12);
         else if (a.rfind("--jsonl=", 0) == 0)
             eopts.jsonlPath = a.substr(8);
+        else if (a == "--timeline-dir")
+            timeline_requested = true;
+        else if (a.rfind("--timeline-dir=", 0) == 0) {
+            timeline_dir = a.substr(15);
+            timeline_requested = true;
+        } else if (a.rfind("--timeline-interval=", 0) == 0)
+            timeline_interval = static_cast<Cycle>(parseEnvInt(
+                "--timeline-interval", a.substr(20).c_str(), 1,
+                std::numeric_limits<std::int64_t>::max()));
         else if (a.rfind("--interrupt-after=", 0) == 0)
             interrupt_after = static_cast<std::size_t>(parseEnvInt(
                 "--interrupt-after", a.substr(18).c_str(), 1,
@@ -202,6 +225,12 @@ main(int argc, char **argv)
     // Declare the grid. Memoization makes the per-app Baseline run and
     // a "Baseline" entry in --designs the same job.
     exec::JobSet set;
+    if (timeline_requested) {
+        if (timeline_dir.empty())
+            timeline_dir =
+                run_dir.empty() ? "timeline" : run_dir + "/timeline";
+        set.setTimelineDir(timeline_dir, timeline_interval);
+    }
     struct Row
     {
         std::size_t jobIndex;

@@ -43,6 +43,14 @@ Enforces rules a generic linter cannot know about:
                          audited implementations of those helpers carry
                          `lint: rawwrite-ok`. Reads (std::ifstream) are
                          unaffected.
+  R8  trace-gated        direct trace-event emission (reqSlice /
+                         counterEvent) outside src/stats/ is banned
+                         unless annotated `lint: trace-ok`. Trace
+                         events must flow through the attribution slow
+                         path or the timeline sample hook, which apply
+                         the 1-in-N sampling and the event cap; an
+                         unsampled call site can emit per-request or
+                         per-cycle and silently blow the trace buffer.
 
 Usage: tools/lint_sim.py [--root DIR]
 Exits non-zero if any violation is found.
@@ -82,6 +90,13 @@ WALLCLOCK_ALLOWED_DIRS = {("src", "exec")}
 # Result files must be written through the crash-safe helpers; only
 # their own implementation may touch the filesystem directly.
 RAWWRITE_ALLOW = "lint: rawwrite-ok"
+# Trace events outside src/stats/ must come from audited, sampled call
+# sites (the attribution slow path applies 1-in-N sampling; the
+# timeline hook fires once per interval).
+RE_TRACE_EMIT = re.compile(
+    r"(?<![\w.])(?:\w+(?:\.|->))?(?:reqSlice|counterEvent)\s*\("
+)
+TRACE_ALLOW = "lint: trace-ok"
 
 
 def rawwrite_scope(rel):
@@ -185,6 +200,24 @@ def lint_file(path, root):
                     "kill; use exec::AtomicFileWriter or "
                     f"exec::AppendLog (`{RAWWRITE_ALLOW}` for audited "
                     "exceptions)",
+                )
+            )
+        trace_allowed = TRACE_ALLOW in raw or (
+            ln >= 2 and TRACE_ALLOW in lines[ln - 2]
+        )
+        if (
+            rel.parts[:2] != ("src", "stats")
+            and not trace_allowed
+            and RE_TRACE_EMIT.search(line)
+        ):
+            violations.append(
+                (
+                    ln,
+                    "trace-gated",
+                    "direct trace emission bypasses sampling and the "
+                    "event cap; go through the attribution slow path "
+                    f"or the timeline hook (`{TRACE_ALLOW}` for "
+                    "audited sites)",
                 )
             )
         if in_src and not wallclock_allowed and RE_WALLCLOCK.search(line):
