@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/env.hh"
 #include "common/log.hh"
 #include "exec/atomic_file.hh"
 #include "exec/job_runner.hh"
@@ -38,8 +39,7 @@ split(const std::string &s, char sep)
 Harness::Harness(const std::string &title, const std::string &what)
     : opts_(core::ExperimentOptions::fromEnv())
 {
-    if (const char *c = std::getenv("DCL1_CACHE"))
-        cacheFile_ = c;
+    cacheFile_ = envStrOr("DCL1_CACHE", cacheFile_);
     loadCache();
 
     std::printf("==== %s ====\n", title.c_str());
@@ -77,7 +77,8 @@ Harness::prefetch(const std::vector<core::DesignConfig> &designs,
     // DCL1_TIMELINE=<dir>: emit a per-cell cycle-interval timeline for
     // every prefetched cell. Observability only — cached metrics and
     // printed tables are byte-identical with or without it.
-    if (const char *dir = std::getenv("DCL1_TIMELINE"))
+    if (const std::string dir = envStrOr("DCL1_TIMELINE", "");
+        !dir.empty())
         set.setTimelineDir(dir);
     // Job index -> harness cache key; memoization may map several
     // (design, app) pairs onto one job.
@@ -123,7 +124,8 @@ runJobSet(const exec::JobSet &set)
     // are told apart by their durable (design, app, opts, platform,
     // seed) keys.
     std::unique_ptr<exec::RunManifest> manifest;
-    if (const char *dir = std::getenv("DCL1_RUN_DIR")) {
+    if (const std::string dir = envStrOr("DCL1_RUN_DIR", "");
+        !dir.empty()) {
         manifest = exec::RunManifest::openOrCreate(dir, "bench");
         runner.attachManifest(manifest.get());
     }
@@ -167,7 +169,7 @@ Harness::apps(bool sensitive_only, bool insensitive_only)
 {
     std::vector<workload::AppInfo> out;
     std::vector<std::string> filter;
-    if (const char *f = std::getenv("DCL1_APPS"))
+    if (const std::string f = envStrOr("DCL1_APPS", ""); !f.empty())
         filter = split(f, ',');
 
     for (const auto &app : workload::appCatalog()) {

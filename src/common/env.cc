@@ -41,4 +41,21 @@ envIntOr(const char *name, std::int64_t fallback, std::int64_t min_value,
     return parseEnvInt(name, text, min_value, max_value);
 }
 
+std::string
+envStrOr(const char *name, const std::string &fallback)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return fallback;
+    if (*text == '\0')
+        fatal("%s: set but empty — unset it or give it a value", name);
+    return text;
+}
+
+bool
+envIsSet(const char *name)
+{
+    return std::getenv(name) != nullptr;
+}
+
 } // namespace dcl1

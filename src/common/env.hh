@@ -12,6 +12,7 @@
 #define DCL1_COMMON_ENV_HH
 
 #include <cstdint>
+#include <string>
 
 namespace dcl1
 {
@@ -32,6 +33,22 @@ std::int64_t parseEnvInt(const char *name, const char *text,
  */
 std::int64_t envIntOr(const char *name, std::int64_t fallback,
                       std::int64_t min_value, std::int64_t max_value);
+
+/**
+ * Read string-valued environment variable @p name; @p fallback when
+ * unset. A set-but-empty variable fatal()s — an empty path/name is
+ * always a typo (e.g. `DCL1_RUN_DIR= dcl1sweep ...`), and treating it
+ * as "unset" would silently drop the durable-run behavior the user
+ * asked for.
+ *
+ * This is the one sanctioned front door for string environment knobs:
+ * lint rule R12 `unchecked-env` flags direct getenv() anywhere outside
+ * this translation unit.
+ */
+std::string envStrOr(const char *name, const std::string &fallback);
+
+/** True when @p name is set (to anything, including empty). */
+bool envIsSet(const char *name);
 
 } // namespace dcl1
 

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros.
+ *
+ * Under clang, `-Wthread-safety` turns these annotations into a
+ * compile-time data-race discipline: every member that may be touched
+ * from more than one thread names the mutex that protects it
+ * (DCL1_GUARDED_BY), and every function that assumes or manipulates a
+ * lock says so in its signature (DCL1_REQUIRES / DCL1_ACQUIRE /
+ * DCL1_RELEASE / DCL1_EXCLUDES). The analysis then rejects any access
+ * path that does not hold the right lock — races are build errors
+ * instead of TSan findings. The CI clang lane builds with
+ * `-Wthread-safety -Werror`; on GCC every macro expands to nothing,
+ * so the annotations are zero-cost documentation there.
+ *
+ * libstdc++'s std::mutex carries no capability attributes, so the
+ * analysis cannot see through it; use the annotated wrapper types in
+ * common/mutex.hh (dcl1::Mutex / dcl1::MutexLock) for any lock the
+ * analysis should track.
+ *
+ * Naming follows the Clang documentation
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+ * DCL1_ to keep the macro namespace honest.
+ */
+
+#ifndef DCL1_COMMON_THREAD_ANNOTATIONS_HH
+#define DCL1_COMMON_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && !defined(SWIG)
+#define DCL1_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DCL1_THREAD_ANNOTATION__(x) // no-op on GCC/MSVC
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define DCL1_CAPABILITY(x) DCL1_THREAD_ANNOTATION__(capability(x))
+
+/** Marks an RAII class that acquires a capability in its constructor
+ *  and releases it in its destructor. */
+#define DCL1_SCOPED_CAPABILITY DCL1_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define DCL1_GUARDED_BY(x) DCL1_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define DCL1_PT_GUARDED_BY(x) DCL1_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Function that must be called with the listed capabilities held. */
+#define DCL1_REQUIRES(...)                                                  \
+    DCL1_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with shared access to the listed
+ *  capabilities. */
+#define DCL1_REQUIRES_SHARED(...)                                           \
+    DCL1_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities and does not release
+ *  them before returning. */
+#define DCL1_ACQUIRE(...)                                                   \
+    DCL1_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define DCL1_RELEASE(...)                                                   \
+    DCL1_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns @p result. */
+#define DCL1_TRY_ACQUIRE(result, ...)                                       \
+    DCL1_THREAD_ANNOTATION__(try_acquire_capability(result, __VA_ARGS__))
+
+/** Function that must be called *without* the listed capabilities held
+ *  (it takes them itself; calling with them held would deadlock). */
+#define DCL1_EXCLUDES(...)                                                  \
+    DCL1_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Declares a lock-ordering edge: this capability is acquired before
+ *  the listed ones. */
+#define DCL1_ACQUIRED_BEFORE(...)                                           \
+    DCL1_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/** Declares a lock-ordering edge: this capability is acquired after
+ *  the listed ones. */
+#define DCL1_ACQUIRED_AFTER(...)                                            \
+    DCL1_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/** Function returning a reference to the capability protecting the
+ *  returned/named data (lets accessors expose their lock). */
+#define DCL1_RETURN_CAPABILITY(x)                                           \
+    DCL1_THREAD_ANNOTATION__(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. Reserve for
+ *  audited cases the analysis cannot express (init/teardown paths). */
+#define DCL1_NO_THREAD_SAFETY_ANALYSIS                                      \
+    DCL1_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // DCL1_COMMON_THREAD_ANNOTATIONS_HH

@@ -61,6 +61,9 @@ AppendLog::AppendLog(std::string path) : path_(std::move(path))
 
 AppendLog::~AppendLog()
 {
+    // No lock: destruction requires exclusive ownership by contract
+    // (no other thread may still be appending), and the analysis does
+    // not run on destructors anyway.
     if (file_)
         std::fclose(file_);
 }
@@ -68,6 +71,7 @@ AppendLog::~AppendLog()
 bool
 AppendLog::appendLine(const std::string &line)
 {
+    MutexLock lock(mutex_);
     if (!file_) {
         if (warned_)
             return false;

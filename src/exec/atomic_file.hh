@@ -26,6 +26,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
 namespace dcl1::exec
 {
 
@@ -57,7 +60,14 @@ class AtomicFileWriter
     bool committed_ = false;
 };
 
-/** Line-atomic append log (see file comment). Opened lazily. */
+/**
+ * Line-atomic append log (see file comment). Opened lazily.
+ *
+ * Thread-safe: the handle and the warn-once latch are guarded by an
+ * internal mutex, so one AppendLog may be shared by concurrent workers
+ * (the jobs.jsonl WAL and the JSONL sink are) — each appendLine() call
+ * lands as one whole record regardless of the calling thread.
+ */
 class AppendLog
 {
   public:
@@ -72,14 +82,15 @@ class AppendLog
      * an immediate flush. @return false (after warning once) when the
      * file cannot be opened or written.
      */
-    bool appendLine(const std::string &line);
+    bool appendLine(const std::string &line) DCL1_EXCLUDES(mutex_);
 
     const std::string &path() const { return path_; }
 
   private:
+    Mutex mutex_;
     std::string path_;
-    std::FILE *file_ = nullptr;
-    bool warned_ = false;
+    std::FILE *file_ DCL1_GUARDED_BY(mutex_) = nullptr;
+    bool warned_ DCL1_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -1,8 +1,8 @@
-#include "check/determinism.hh"
+#include "exec/determinism.hh"
 
 #include <sstream>
 
-namespace dcl1::check
+namespace dcl1::exec
 {
 
 std::uint64_t
@@ -53,4 +53,4 @@ runTwiceAndCompare(const core::SystemConfig &sys,
     return result;
 }
 
-} // namespace dcl1::check
+} // namespace dcl1::exec

@@ -8,10 +8,15 @@
  * trajectories with run-to-run noise that looks like a real effect.
  * This harness runs the same configuration twice and compares a digest
  * of the complete statistics dump plus the headline metrics.
+ *
+ * Lives in src/exec/ (not src/check/): it *drives* whole GpuSystems,
+ * which puts it above the core layer in the architecture DAG, whereas
+ * src/check is the low-level instrumentation the models call into
+ * (lint rule R11 `layering` enforces both directions).
  */
 
-#ifndef DCL1_CHECK_DETERMINISM_HH
-#define DCL1_CHECK_DETERMINISM_HH
+#ifndef DCL1_EXEC_DETERMINISM_HH
+#define DCL1_EXEC_DETERMINISM_HH
 
 #include <cstdint>
 #include <string>
@@ -21,7 +26,7 @@
 #include "core/system_config.hh"
 #include "workload/workload.hh"
 
-namespace dcl1::check
+namespace dcl1::exec
 {
 
 /** FNV-1a over a byte string. */
@@ -52,6 +57,6 @@ runTwiceAndCompare(const core::SystemConfig &sys,
                    const workload::WorkloadParams &app,
                    Cycle measure_cycles, Cycle warmup_cycles);
 
-} // namespace dcl1::check
+} // namespace dcl1::exec
 
-#endif // DCL1_CHECK_DETERMINISM_HH
+#endif // DCL1_EXEC_DETERMINISM_HH

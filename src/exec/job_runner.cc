@@ -6,11 +6,12 @@
 #include <deque>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "exec/crash_record.hh"
 #include "exec/interrupt.hh"
 #include "exec/run_manifest.hh"
@@ -36,13 +37,20 @@ msSince(HostClock::time_point start)
 /** One worker's mutex-guarded job queue. */
 struct WorkerDeque
 {
-    std::mutex mutex;
-    std::deque<std::size_t> jobs;
+    Mutex mutex;
+    std::deque<std::size_t> jobs DCL1_GUARDED_BY(mutex);
+
+    void
+    pushBack(std::size_t index) DCL1_EXCLUDES(mutex)
+    {
+        MutexLock lock(mutex);
+        jobs.push_back(index);
+    }
 
     bool
-    popFront(std::size_t &out)
+    popFront(std::size_t &out) DCL1_EXCLUDES(mutex)
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (jobs.empty())
             return false;
         out = jobs.front();
@@ -51,9 +59,9 @@ struct WorkerDeque
     }
 
     bool
-    stealBack(std::size_t &out)
+    stealBack(std::size_t &out) DCL1_EXCLUDES(mutex)
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (jobs.empty())
             return false;
         out = jobs.back();
@@ -100,10 +108,8 @@ ExecOptions::fromEnv()
                  std::numeric_limits<std::int64_t>::max()));
     opts.maxRetries = static_cast<unsigned>(
         envIntOr("DCL1_RETRIES", 2, /*min_value=*/0, /*max_value=*/100));
-    if (const char *dir = std::getenv("DCL1_CRASH_DIR"))
-        opts.crashDir = dir;
-    if (const char *path = std::getenv("DCL1_JOBS_LOG"))
-        opts.jsonlPath = path;
+    opts.crashDir = envStrOr("DCL1_CRASH_DIR", opts.crashDir);
+    opts.jsonlPath = envStrOr("DCL1_JOBS_LOG", opts.jsonlPath);
     return opts;
 }
 
@@ -125,8 +131,7 @@ JobRunner::JobRunner(ExecOptions opts) : opts_(std::move(opts))
 void
 JobRunner::addSink(ResultSink *sink)
 {
-    if (sink)
-        sinks_.push_back(sink);
+    sinks_.add(sink);
 }
 
 void
@@ -152,16 +157,9 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     const unsigned workers = resolveWorkers(n);
 
     std::vector<JobResult> results(n);
-    std::mutex sink_mutex;
-
-    auto for_sinks = [&](auto &&call) {
-        std::lock_guard<std::mutex> lock(sink_mutex);
-        for (ResultSink *sink : sinks_)
-            call(*sink);
-    };
 
     const HostClock::time_point batch_start = HostClock::now();
-    for_sinks([&](ResultSink &s) { s.onRunStart(n, workers); });
+    sinks_.runStart(n, workers);
 
     // Resume prefill: jobs whose key already carries a terminal record
     // (ok or quarantined — retryable failures are never recorded) are
@@ -189,7 +187,7 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             r.timelinePath = rec->timeline;
             results[i] = std::move(r);
             pending[i] = 0;
-            for_sinks([&](ResultSink &s) { s.onJobDone(results[i]); });
+            sinks_.jobDone(results[i]);
         }
     }
 
@@ -197,16 +195,13 @@ JobRunner::run(const std::vector<JobSpec> &specs)
         !opts_.crashDir.empty()
             ? opts_.crashDir
             : (manifest_ ? manifest_->crashDir() : std::string());
-    std::mutex manifest_mutex;
 
     // Executes one job with fault isolation and the retry-with-
     // quarantine policy; the only writer of results[index], so workers
     // never touch the same element.
     auto execute = [&](std::size_t index, unsigned worker) {
         const JobSpec &spec = specs[index];
-        for_sinks([&](ResultSink &s) {
-            s.onJobStart(index, spec.label, worker);
-        });
+        sinks_.jobStart(index, spec.label, worker);
 
         JobResult r;
         r.index = index;
@@ -285,12 +280,12 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             rec.error = r.error;
             rec.metrics = r.metrics;
             rec.timeline = r.timelinePath;
-            std::lock_guard<std::mutex> lock(manifest_mutex);
+            // RunManifest::append is internally synchronized.
             manifest_->append(rec);
         }
 
         results[index] = std::move(r);
-        for_sinks([&](ResultSink &s) { s.onJobDone(results[index]); });
+        sinks_.jobDone(results[index]);
     };
 
     if (workers == 1) {
@@ -308,7 +303,7 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             deques.push_back(std::make_unique<WorkerDeque>());
         for (std::size_t i = 0; i < n; ++i)
             if (pending[i])
-                deques[i % workers]->jobs.push_back(i);
+                deques[i % workers]->pushBack(i);
 
         auto worker_loop = [&](unsigned w) {
             std::size_t index = 0;
@@ -386,7 +381,7 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     if (manifest_)
         manifest_->finalize(interrupted ? "interrupted" : "complete");
 
-    for_sinks([&](ResultSink &s) { s.onRunEnd(summary, results); });
+    sinks_.runEnd(summary, results);
     return results;
 }
 

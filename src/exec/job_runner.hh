@@ -93,7 +93,8 @@ class JobRunner
 
   private:
     ExecOptions opts_;
-    std::vector<ResultSink *> sinks_;
+    /** Serializes all sink callbacks (see SinkFanout). */
+    SinkFanout sinks_;
     RunManifest *manifest_ = nullptr;
 };
 

@@ -40,6 +40,49 @@ jsonEscape(const std::string &s)
 }
 
 void
+SinkFanout::add(ResultSink *sink)
+{
+    if (!sink)
+        return;
+    MutexLock lock(mutex_);
+    sinks_.push_back(sink);
+}
+
+void
+SinkFanout::runStart(std::size_t num_jobs, unsigned workers)
+{
+    MutexLock lock(mutex_);
+    for (ResultSink *sink : sinks_)
+        sink->onRunStart(num_jobs, workers);
+}
+
+void
+SinkFanout::jobStart(std::size_t index, const std::string &label,
+                     unsigned worker)
+{
+    MutexLock lock(mutex_);
+    for (ResultSink *sink : sinks_)
+        sink->onJobStart(index, label, worker);
+}
+
+void
+SinkFanout::jobDone(const JobResult &result)
+{
+    MutexLock lock(mutex_);
+    for (ResultSink *sink : sinks_)
+        sink->onJobDone(result);
+}
+
+void
+SinkFanout::runEnd(const RunSummary &summary,
+                   const std::vector<JobResult> &results)
+{
+    MutexLock lock(mutex_);
+    for (ResultSink *sink : sinks_)
+        sink->onRunEnd(summary, results);
+}
+
+void
 ProgressSink::onRunStart(std::size_t num_jobs, unsigned workers)
 {
     total_ = num_jobs;

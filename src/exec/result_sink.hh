@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "exec/atomic_file.hh"
 #include "exec/job.hh"
 
@@ -114,6 +116,33 @@ class JsonlSink : public ResultSink
 
   private:
     AppendLog log_;
+};
+
+/**
+ * The JobRunner's fan-out point: holds the registered sinks and
+ * serializes every lifecycle callback under one mutex, which is the
+ * "runner serializes all sink calls" guarantee the ResultSink contract
+ * promises (implementations need no locking of their own). Worker
+ * threads call the forwarding methods concurrently.
+ */
+class SinkFanout
+{
+  public:
+    /** Register @p sink (not owned; null is ignored). */
+    void add(ResultSink *sink) DCL1_EXCLUDES(mutex_);
+
+    void runStart(std::size_t num_jobs, unsigned workers)
+        DCL1_EXCLUDES(mutex_);
+    void jobStart(std::size_t index, const std::string &label,
+                  unsigned worker) DCL1_EXCLUDES(mutex_);
+    void jobDone(const JobResult &result) DCL1_EXCLUDES(mutex_);
+    void runEnd(const RunSummary &summary,
+                const std::vector<JobResult> &results)
+        DCL1_EXCLUDES(mutex_);
+
+  private:
+    Mutex mutex_;
+    std::vector<ResultSink *> sinks_ DCL1_GUARDED_BY(mutex_);
 };
 
 /** Escape a string for embedding in a JSON double-quoted literal. */

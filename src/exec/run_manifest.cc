@@ -251,6 +251,7 @@ RunManifest::openOrCreate(const std::string &dir,
     const std::string manifest_path = dir + "/manifest.json";
     const std::string existing = readWholeFile(manifest_path);
     if (existing.empty()) {
+        MutexLock lock(m->mutex_);
         m->writeManifestFile("running");
         return m;
     }
@@ -274,8 +275,11 @@ RunManifest::openOrCreate(const std::string &dir,
               "the original options or use a fresh directory.",
               dir.c_str(), stored_config.c_str(), config.c_str());
 
-    m->loadRecords();
-    m->writeManifestFile("running");
+    {
+        MutexLock lock(m->mutex_);
+        m->loadRecords();
+        m->writeManifestFile("running");
+    }
     return m;
 }
 
@@ -305,6 +309,7 @@ RunManifest::loadRecords()
 const JobRecord *
 RunManifest::find(const std::string &key) const
 {
+    MutexLock lock(mutex_);
     const auto it = records_.find(key);
     return it == records_.end() ? nullptr : &it->second;
 }
@@ -314,6 +319,7 @@ RunManifest::append(const JobRecord &record)
 {
     if (record.key.empty())
         return;
+    MutexLock lock(mutex_);
     wal_.appendLine(record.toJsonLine());
     records_[record.key] = record;
 }
@@ -321,6 +327,7 @@ RunManifest::append(const JobRecord &record)
 void
 RunManifest::finalize(const std::string &status)
 {
+    MutexLock lock(mutex_);
     writeManifestFile(status);
 }
 

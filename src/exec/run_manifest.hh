@@ -32,6 +32,8 @@
 #include <memory>
 #include <string>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "exec/atomic_file.hh"
 #include "exec/job.hh"
 
@@ -89,7 +91,14 @@ struct JobRecord
     static bool fromJsonLine(const std::string &line, JobRecord &out);
 };
 
-/** See file comment. */
+/**
+ * See file comment.
+ *
+ * Thread-safe: completed records and the WAL handle are guarded by an
+ * internal mutex, so workers append concurrently while the engine
+ * resolves resume matches — the JobRunner needs no lock of its own
+ * around manifest calls.
+ */
 class RunManifest
 {
   public:
@@ -102,17 +111,30 @@ class RunManifest
     static std::unique_ptr<RunManifest>
     openOrCreate(const std::string &dir, const std::string &config);
 
-    /** Completed (ok or quarantined) record for @p key, else null. */
-    const JobRecord *find(const std::string &key) const;
+    /**
+     * Completed (ok or quarantined) record for @p key, else null.
+     * std::map nodes are stable, so the pointer survives later
+     * append()s; records are resolved before workers start, and a key
+     * is re-appended only with identical content, so the pointee never
+     * changes under a reader.
+     */
+    const JobRecord *find(const std::string &key) const
+        DCL1_EXCLUDES(mutex_);
 
     /** Record a finished job (WAL append; crash-safe per record). */
-    void append(const JobRecord &record);
+    void append(const JobRecord &record) DCL1_EXCLUDES(mutex_);
 
     /** Rewrite the manifest with a final status ("complete",
      *  "interrupted"); atomic, so a crash keeps the old manifest. */
-    void finalize(const std::string &status);
+    void finalize(const std::string &status) DCL1_EXCLUDES(mutex_);
 
-    std::size_t completedCount() const { return records_.size(); }
+    std::size_t
+    completedCount() const DCL1_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return records_.size();
+    }
+
     const std::string &dir() const { return dir_; }
     std::string crashDir() const { return dir_ + "/crash"; }
 
@@ -120,13 +142,15 @@ class RunManifest
     RunManifest(std::string dir, std::string config);
 
   private:
-    void writeManifestFile(const std::string &status);
-    void loadRecords();
+    void writeManifestFile(const std::string &status)
+        DCL1_REQUIRES(mutex_);
+    void loadRecords() DCL1_REQUIRES(mutex_);
 
     std::string dir_;
     std::string config_;
-    AppendLog wal_;
-    std::map<std::string, JobRecord> records_;
+    mutable Mutex mutex_;
+    AppendLog wal_; ///< internally locked; ordered after mutex_
+    std::map<std::string, JobRecord> records_ DCL1_GUARDED_BY(mutex_);
 };
 
 } // namespace dcl1::exec

@@ -27,6 +27,7 @@ TraceExport::reqSlice(std::uint32_t sample_id, const char *seg,
     // ...), so the subset is deterministic and spread across the run.
     if ((sample_id - 1) % requestEvery_ != 0)
         return;
+    MutexLock lock(mutex_);
     if (events_.size() >= maxEvents_) {
         ++dropped_;
         return;
@@ -43,6 +44,7 @@ TraceExport::reqSlice(std::uint32_t sample_id, const char *seg,
 void
 TraceExport::counterEvent(const std::string &track, Cycle t, double value)
 {
+    MutexLock lock(mutex_);
     if (events_.size() >= maxEvents_) {
         ++dropped_;
         return;
@@ -58,6 +60,7 @@ TraceExport::counterEvent(const std::string &track, Cycle t, double value)
 void
 TraceExport::writeJson(std::ostream &os) const
 {
+    MutexLock lock(mutex_);
     os << "{\"traceEvents\":[";
     bool first = true;
     for (const Event &e : events_) {

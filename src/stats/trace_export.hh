@@ -30,11 +30,20 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace dcl1::stats
 {
 
+/**
+ * Thread-safe event sink: the buffer and drop counter are guarded by
+ * an internal mutex. Today each exporter is owned by one simulation
+ * thread (tlsTraceSink is thread_local), so the lock is uncontended;
+ * the annotation-checked locking is what lets the multi-tenant arc
+ * share an exporter later without a data race appearing first.
+ */
 class TraceExport
 {
   public:
@@ -49,16 +58,28 @@ class TraceExport
 
     /** One request-segment span [begin, end) on track @p sample_id. */
     void reqSlice(std::uint32_t sample_id, const char *seg, Cycle begin,
-                  Cycle end);
+                  Cycle end) DCL1_EXCLUDES(mutex_);
 
     /** One counter-track sample at cycle @p t. */
-    void counterEvent(const std::string &track, Cycle t, double value);
+    void counterEvent(const std::string &track, Cycle t, double value)
+        DCL1_EXCLUDES(mutex_);
 
     /** Serialize the whole trace as one JSON document. */
-    void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os) const DCL1_EXCLUDES(mutex_);
 
-    std::size_t events() const { return events_.size(); }
-    std::size_t dropped() const { return dropped_; }
+    std::size_t
+    events() const DCL1_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return events_.size();
+    }
+
+    std::size_t
+    dropped() const DCL1_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return dropped_;
+    }
 
   private:
     struct Event
@@ -74,8 +95,9 @@ class TraceExport
 
     std::uint32_t requestEvery_;
     std::size_t maxEvents_;
-    std::size_t dropped_ = 0;
-    std::vector<Event> events_;
+    mutable Mutex mutex_;
+    std::size_t dropped_ DCL1_GUARDED_BY(mutex_) = 0;
+    std::vector<Event> events_ DCL1_GUARDED_BY(mutex_);
 };
 
 /**

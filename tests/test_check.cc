@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "check/check.hh"
-#include "check/determinism.hh"
+#include "exec/determinism.hh"
 #include "check/request_ledger.hh"
 #include "core/design.hh"
 #include "core/gpu_system.hh"
@@ -227,7 +227,7 @@ class DeterminismTest : public ::testing::TestWithParam<DesignConfig>
 
 TEST_P(DeterminismTest, SameSeedSameDigest)
 {
-    const auto r = check::runTwiceAndCompare(
+    const auto r = exec::runTwiceAndCompare(
         SystemConfig(), GetParam(), workload::WorkloadParams(), 2000, 500);
     EXPECT_TRUE(r.ok) << "digest A " << r.digestA << " != digest B "
                       << r.digestB;

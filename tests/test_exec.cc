@@ -14,7 +14,7 @@
 #include <sstream>
 #include <vector>
 
-#include "check/determinism.hh"
+#include "exec/determinism.hh"
 #include "common/log.hh"
 #include "core/design.hh"
 #include "exec/exit_codes.hh"
@@ -236,7 +236,7 @@ TEST(Exec, SerialAndParallelRunsAreIdentical)
                      [&, design, app, slot = out.size()](JobContext &) {
                          core::GpuSystem gpu(sys, design, app.params);
                          gpu.run(opts.measureCycles, opts.warmupCycles);
-                         out[slot] = check::statDigest(gpu);
+                         out[slot] = exec::statDigest(gpu);
                          return gpu.metrics();
                      }});
                 out.push_back(0);

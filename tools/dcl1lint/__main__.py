@@ -1,0 +1,11 @@
+"""Entry point: `python3 tools/dcl1lint [args...]`."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Findings baseline: accepted debt that must not grow.
+
+The baseline records findings the tree knowingly carries (for example
+the DRAM in-service worklist allocations that the planned MemRequest
+arena will eventually remove). A finding matches a baseline entry on
+(rule, path, snippet) — not on line number, so unrelated edits that
+shift code do not invalidate the baseline — and each entry carries a
+count, so a *second* identical-looking violation in the same file is
+still reported as new.
+
+  dcl1lint                       # new findings fail, baselined pass
+  dcl1lint --update-baseline     # rewrite the baseline to match HEAD
+
+Entries no longer matched by any finding are reported as warnings so
+paid-off debt gets deleted from the file.
+"""
+
+import json
+
+FORMAT_VERSION = 1
+
+
+def _key(rule_id, path, snippet):
+    return (rule_id, path, " ".join(snippet.split()))
+
+
+def load(path):
+    """Load baseline entries as {key: count}. Missing file = empty."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version "
+            f"{data.get('version')!r} (expected {FORMAT_VERSION})")
+    entries = {}
+    for e in data.get("findings", []):
+        k = _key(e["rule"], e["path"], e.get("snippet", ""))
+        entries[k] = entries.get(k, 0) + int(e.get("count", 1))
+    return entries
+
+
+def apply(findings, entries):
+    """Partition error findings against the baseline.
+
+    Marks matched findings baseline_state="unchanged" and returns
+    (new_findings, stale_entries) where stale_entries is a list of
+    (rule, path, snippet, unmatched_count).
+    """
+    budget = dict(entries)
+    new = []
+    for f in findings:
+        k = _key(f.rule_id, f.path, f.snippet)
+        if budget.get(k, 0) > 0:
+            budget[k] -= 1
+            f.baseline_state = "unchanged"
+        else:
+            new.append(f)
+    stale = [(rule, path, snippet, count)
+             for (rule, path, snippet), count in sorted(budget.items())
+             if count > 0]
+    return new, stale
+
+
+def write(path, findings):
+    """Serialize @p findings as the new baseline."""
+    counts = {}
+    lines = {}
+    for f in findings:
+        k = _key(f.rule_id, f.path, f.snippet)
+        counts[k] = counts.get(k, 0) + 1
+        lines.setdefault(k, f.line)
+    entries = [
+        {
+            "rule": rule,
+            "path": p,
+            "snippet": snippet,
+            "count": count,
+            # Advisory only — matching ignores it, humans grep for it.
+            "near_line": lines[(rule, p, snippet)],
+        }
+        for (rule, p, snippet), count in sorted(counts.items())
+    ]
+    payload = {"version": FORMAT_VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8")

@@ -1,0 +1,111 @@
+"""Optional libclang backend: exact function extents from the AST.
+
+When the python `clang` binding and a libclang shared library are
+present, function/method spans are taken from real AST cursors instead
+of the tokenizer's brace heuristic; everything else (channels,
+suppressions, rules) is shared. When anything is missing or a parse
+fails, the caller silently keeps the tokenizer spans — the analyzer
+must work on a bare toolchain (the CI fallback lane and the developer
+image ship no libclang).
+"""
+
+import json
+
+from textmodel import FuncSpan
+
+_FUNC_KINDS = None
+_index = None
+
+
+def available():
+    """True when clang.cindex imports and an index can be built."""
+    global _index, _FUNC_KINDS
+    if _index is not None:
+        return True
+    try:
+        from clang import cindex
+        _index = cindex.Index.create()
+        K = cindex.CursorKind
+        _FUNC_KINDS = {
+            K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+            K.DESTRUCTOR, K.FUNCTION_TEMPLATE, K.CONVERSION_FUNCTION,
+        }
+        return True
+    except Exception:
+        _index = None
+        return False
+
+
+def load_compile_args(compile_commands_path):
+    """Map absolute file path -> argument list, from a
+    compile_commands.json; {} when unreadable."""
+    args_by_file = {}
+    try:
+        data = json.loads(
+            compile_commands_path.read_text(encoding="utf-8"))
+        for entry in data:
+            args = entry.get("arguments")
+            if not args and "command" in entry:
+                args = entry["command"].split()
+            if not args:
+                continue
+            # Drop the compiler and the input/output operands; keep
+            # the flags that shape parsing.
+            kept, skip = [], False
+            for a in args[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-o", "-c"):
+                    skip = a == "-o"
+                    continue
+                if a.endswith((".cc", ".cpp", ".o")):
+                    continue
+                kept.append(a)
+            args_by_file[entry["file"]] = kept
+    except Exception:
+        pass
+    return args_by_file
+
+
+def function_spans(root, path, compile_args):
+    """Parse @p path; return a list of FuncSpan or None on failure."""
+    if not available():
+        return None
+    args = compile_args.get(str(path))
+    if args is None:
+        args = [
+            "-x", "c++", "-std=c++17",
+            "-I", str(root / "src"), "-I", str(root),
+        ]
+    try:
+        tu = _index.parse(str(path), args=args)
+    except Exception:
+        return None
+    spans = []
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            try:
+                in_main = (child.location.file
+                           and child.location.file.name == str(path))
+            except Exception:
+                in_main = False
+            if not in_main:
+                continue
+            if child.kind in _FUNC_KINDS and child.is_definition():
+                ext = child.extent
+                spans.append(FuncSpan(
+                    name=child.spelling,
+                    qualname=child.displayname or child.spelling,
+                    sig_line=ext.start.line,
+                    open_line=ext.start.line,
+                    end_line=ext.end.line,
+                ))
+            walk(child)
+
+    try:
+        walk(tu.cursor)
+    except Exception:
+        return None
+    return spans

@@ -1,0 +1,18 @@
+// R0 fixture: suppressions that suppress nothing.
+
+int
+nothingToSuppressHere()
+{
+    int x = 1; // lint: unordered-iter-ok expect: R0
+    // lint: bogus-ok expect: R0
+    return x;
+}
+
+int
+prose(std::FILE *f)
+{
+    /* Block comments are prose, not pragmas: lint: trace-ok stays
+     * unrecognized there, so no stale warning for this mention. */
+    const char *s = "nor in strings: lint: rawwrite-ok";
+    return f != nullptr && s != nullptr;
+}

@@ -1,0 +1,16 @@
+// R10 fixture: ordered containers keyed on pointer values.
+
+#include <map>
+#include <set>
+
+struct Request;
+
+class Tracker
+{
+    std::map<Request *, int> byPtr_; // expect: R10
+    std::set<const Request *> live_; // expect: R10
+    std::map<unsigned long, Request *> byId_; // value pointers are fine
+    std::map<int, int> plain_;
+    // The ledger hands out dense ids precisely so this map exists.
+    std::map<Request *, int> audit_; // lint: ptr-order-ok (fixture)
+};

@@ -1,0 +1,9 @@
+// R11 fixture: exec may freely include downward.
+
+#ifndef FIXTURE_EXEC_RUNNER_HH
+#define FIXTURE_EXEC_RUNNER_HH
+
+#include "common/log.hh"
+#include "mem/b.hh"
+
+#endif

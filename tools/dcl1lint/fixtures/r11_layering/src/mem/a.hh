@@ -1,0 +1,8 @@
+// R11 fixture: half of a file-level include cycle.
+
+#ifndef FIXTURE_MEM_A_HH
+#define FIXTURE_MEM_A_HH
+
+#include "mem/b.hh" // expect: R11 (cycle reported here)
+
+#endif

@@ -1,0 +1,9 @@
+// R11 fixture: the other half of the include cycle. Same band, so no
+// layering violation — the cycle check catches it instead.
+
+#ifndef FIXTURE_MEM_B_HH
+#define FIXTURE_MEM_B_HH
+
+#include "mem/a.hh"
+
+#endif

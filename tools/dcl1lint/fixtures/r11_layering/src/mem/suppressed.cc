@@ -1,0 +1,8 @@
+// R11 fixture: an annotated (grandfathered) upward include.
+
+#include "core/design.hh" // lint: layering-ok (fixture)
+
+void
+grandfathered()
+{
+}

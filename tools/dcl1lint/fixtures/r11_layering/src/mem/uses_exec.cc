@@ -1,0 +1,11 @@
+// R11 fixture: a model reaching up into the execution engine.
+
+#include "exec/runner.hh" // expect: R11
+#include "common/log.hh"
+#include "stats/group.hh"
+#include "mem/a.hh"
+
+void
+model()
+{
+}

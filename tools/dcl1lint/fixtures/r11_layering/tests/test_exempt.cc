@@ -1,0 +1,9 @@
+// R11 fixture: tests may include anything.
+
+#include "exec/runner.hh"
+#include "mem/a.hh"
+
+void
+testBody()
+{
+}

@@ -1,0 +1,9 @@
+// R12 fixture (exempt): the sanctioned front door itself.
+
+#include <cstdlib>
+
+const char *
+frontDoor(const char *name)
+{
+    return std::getenv(name);
+}

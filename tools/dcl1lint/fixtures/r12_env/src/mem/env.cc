@@ -1,0 +1,28 @@
+// R12 fixture: direct environment reads outside common/env.hh.
+
+#include <cstdlib>
+
+const char *
+bad()
+{
+    return std::getenv("DCL1_CACHE"); // expect: R12
+}
+
+const char *
+alsoBad()
+{
+    return getenv("DCL1_CACHE"); // expect: R12
+}
+
+const char *
+suppressed()
+{
+    return std::getenv("HOME"); // lint: env-ok (fixture)
+}
+
+void
+clean()
+{
+    const std::string dir = envStrOr("DCL1_RUN_DIR", "");
+    (void)dir;
+}

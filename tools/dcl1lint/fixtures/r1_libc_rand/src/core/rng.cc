@@ -1,0 +1,21 @@
+// R1 fixture: libc randomness vs the seeded Rng.
+
+int
+bad()
+{
+    return rand(); // expect: R1
+}
+
+int
+suppressed()
+{
+    return rand(); // lint: libc-rand-ok (fixture)
+}
+
+int
+clean(Rng &rng)
+{
+    // A comment mentioning rand() must not fire, nor must a string:
+    const char *s = "call rand() here";
+    return rng.next() + (s ? 1 : 0) + grand(1) + my_random_field;
+}

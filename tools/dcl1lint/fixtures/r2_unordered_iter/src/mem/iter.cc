@@ -1,0 +1,37 @@
+// R2 fixture: range-for over unordered containers.
+
+#include "mem/iter.hh"
+
+#include <unordered_set>
+
+std::unordered_set<int> local_;
+
+int
+bad(Table &t)
+{
+    int sum = 0;
+    for (const auto &kv : byAddr_) // expect: R2
+        sum += kv.second;
+    for (int v : local_) // expect: R2
+        sum += v;
+    return sum;
+}
+
+int
+suppressed()
+{
+    int sum = 0;
+    // Audit-only aggregate; order cannot leak. lint: unordered-iter-ok
+    for (int v : local_)
+        sum += v;
+    return sum;
+}
+
+int
+clean(Table &t)
+{
+    int sum = 0;
+    for (const auto &kv : ordered_)
+        sum += kv.second;
+    return sum;
+}

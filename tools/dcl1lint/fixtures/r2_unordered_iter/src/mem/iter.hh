@@ -1,0 +1,11 @@
+// R2 fixture header: the member is declared here, iterated in the
+// paired .cc — the rule must find the declaration across files.
+
+#include <map>
+#include <unordered_map>
+
+class Table
+{
+    std::unordered_map<int, int> byAddr_;
+    std::map<int, int> ordered_;
+};

@@ -1,0 +1,32 @@
+// R3 fixture: naked new vs smart-pointer factories.
+
+#include <memory>
+
+struct Foo
+{
+    explicit Foo(int);
+};
+
+void
+bad()
+{
+    Foo *p = new Foo(1); // expect: R3
+    (void)p;
+}
+
+void
+suppressed()
+{
+    Foo *p = new Foo(2); // lint: naked-new-ok (fixture)
+    (void)p;
+}
+
+void
+clean()
+{
+    auto p = std::make_unique<Foo>(3);
+    // "new Foo(" inside a string or comment must not fire.
+    const char *s = "new Foo(4)";
+    (void)p;
+    (void)s;
+}

@@ -1,0 +1,15 @@
+// R4 fixture: duplicate stat registration in one file.
+
+void
+registerStats(StatGroup &g, double *a, double *b)
+{
+    g.addScalar("hits", a);
+    g.addScalar("misses", b);
+    g.addScalar("hits", b); // expect: R4
+    g.addDistribution(
+        "latency", a);
+    g.addDistribution( // expect: R4
+        "latency", b);
+    g.addScalar("evictions", a);
+    g.addScalar("evictions", b); // lint: stats-once-ok (fixture)
+}

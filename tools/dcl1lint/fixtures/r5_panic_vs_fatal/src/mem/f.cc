@@ -1,0 +1,24 @@
+// R5 fixture: fatal() reporting internal corruption must be panic().
+
+void
+bad(int credits)
+{
+    if (credits < 0)
+        fatal("credit underflow on port %d", credits); // expect: R5
+}
+
+void
+suppressed(int credits)
+{
+    // lint: fatal-ok (fixture)
+    fatal("double free of request %d", credits);
+}
+
+void
+clean(int cycles, int credits)
+{
+    if (cycles < 0)
+        fatal("DCL1_CYCLES must be positive, got %d", cycles);
+    if (credits < 0)
+        panic("credit underflow on port %d", credits);
+}

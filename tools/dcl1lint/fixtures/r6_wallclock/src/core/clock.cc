@@ -1,0 +1,26 @@
+// R6 fixture: wall-clock reads in simulation code.
+
+#include <chrono>
+#include <ctime>
+
+long
+bad()
+{
+    auto t = std::chrono::steady_clock::now(); // expect: R6
+    return time(nullptr) + clock(); // expect: R6
+}
+
+long
+annotatedButOutsideExec()
+{
+    // The token exists but is only honoured under src/exec/ — this
+    // still fires (with the explanatory message).
+    return clock(); // lint: wallclock-ok expect: R6
+}
+
+long
+clean(Cycle now)
+{
+    // Simulated time is the only clock here.
+    return static_cast<long>(now);
+}

@@ -1,0 +1,19 @@
+// R6 fixture (exec side): host timing is legitimate here when
+// annotated, and still flagged when not.
+
+#include <chrono>
+
+double
+suppressed()
+{
+    using HostClock = std::chrono::steady_clock; // lint: wallclock-ok
+    return 0.0;
+}
+
+double
+bad()
+{
+    auto t = std::chrono::system_clock::now(); // expect: R6
+    (void)t;
+    return 1.0;
+}

@@ -1,0 +1,11 @@
+// R7 fixture (out of scope): model code is not covered by the rule —
+// it has no business writing files at all, but that is a review
+// matter, not R7's.
+
+#include <fstream>
+
+void
+outOfScope(const char *path)
+{
+    std::ofstream out(path);
+}

@@ -1,0 +1,28 @@
+// R7 fixture: raw result-file writes in tool code.
+
+#include <cstdio>
+#include <fstream>
+
+void
+bad(const char *path)
+{
+    std::ofstream out(path); // expect: R7
+    std::FILE *f = std::fopen(path, "w"); // expect: R7
+    std::FILE *g = fopen(path, "w"); // expect: R7
+    (void)f;
+    (void)g;
+}
+
+void
+suppressed(const char *path)
+{
+    // lint: rawwrite-ok (fixture)
+    std::ofstream out(path);
+}
+
+void
+clean(const char *path)
+{
+    std::ifstream in(path); // reads are unaffected
+    exec::AtomicFileWriter writer(path);
+}

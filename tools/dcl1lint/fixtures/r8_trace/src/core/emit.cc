@@ -1,0 +1,21 @@
+// R8 fixture: direct trace emission outside src/stats/.
+
+void
+bad(TraceExport &te)
+{
+    te.reqSlice(1, "issue", 0, 5); // expect: R8
+    te.counterEvent("q", 10, 2.5); // expect: R8
+}
+
+void
+suppressed(TraceExport *te)
+{
+    te->reqSlice(1, "issue", 0, 5); // lint: trace-ok (fixture)
+}
+
+void
+clean(Attribution &attr)
+{
+    // The sampled slow path applies 1-in-N and the cap itself.
+    attr.recordSlice(1, "issue", 0, 5);
+}

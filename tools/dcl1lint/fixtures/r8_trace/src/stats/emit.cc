@@ -1,0 +1,8 @@
+// R8 fixture (exempt): src/stats/ owns the emission paths.
+
+void
+exempt(TraceExport &te)
+{
+    te.reqSlice(1, "issue", 0, 5);
+    te.counterEvent("q", 10, 2.5);
+}

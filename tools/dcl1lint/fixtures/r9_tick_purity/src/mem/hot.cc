@@ -1,0 +1,29 @@
+// R9 fixture: heap growth inside hot-path methods.
+
+#include "mem/hot.hh"
+
+void
+Cache::access(Request &req, Cycle now)
+{
+    inflight_.push_back(req.id); // expect: R9
+    auto owned = std::make_unique<Line>(req.addr); // expect: R9
+    byAddr_.insert({req.addr, now}); // expect: R9
+    // Bounded: at most one entry per MSHR, reserved in the ctor.
+    mshrs_.emplace_back(req.id, now); // lint: alloc-ok (fixture)
+    pending_.push(req); // BoundedQueue enqueue: exempt by design
+    hits_ += 1;
+}
+
+void
+Cache::tick(Cycle now)
+{
+    if (scratch_.empty())
+        scratch_.resize(kWays); // expect: R9
+}
+
+void
+Cache::report()
+{
+    // Not a hot path: growth here is fine.
+    names_.push_back("cache");
+}

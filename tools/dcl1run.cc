@@ -333,8 +333,7 @@ main(int argc, char **argv)
     eopts.maxRetries = 0; // interactive single shot; no silent re-runs
     eopts.crashDir = o.crashDir;
     if (eopts.crashDir.empty())
-        if (const char *dir = std::getenv("DCL1_CRASH_DIR"))
-            eopts.crashDir = dir;
+        eopts.crashDir = envStrOr("DCL1_CRASH_DIR", "");
     exec::JobRunner runner(eopts);
     std::unique_ptr<exec::JsonlSink> jsonl;
     if (!o.jsonlFile.empty()) {

@@ -166,8 +166,7 @@ main(int argc, char **argv)
     std::string timeline_dir;
     Cycle timeline_interval = 0;
     exec::ExecOptions eopts = exec::ExecOptions::fromEnv();
-    if (const char *dir = std::getenv("DCL1_RUN_DIR"))
-        run_dir = dir;
+    run_dir = envStrOr("DCL1_RUN_DIR", run_dir);
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
