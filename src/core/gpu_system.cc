@@ -20,6 +20,20 @@ timelineIntervalFromEnv()
                  std::numeric_limits<std::int64_t>::max()));
 }
 
+workload::WorkloadParams
+effectiveWorkload(const DesignConfig &design, workload::WorkloadParams app)
+{
+    if (design.distributedCta) {
+        // The distributed CTA scheduler [28] maps nearby CTAs to the
+        // same core, confining each core's shared accesses to a range
+        // small enough that even a private L1 captures much of it
+        // (this is why the scheduler shrinks the paper's DC-L1
+        // headroom).
+        app.ctaLocality = std::max(app.ctaLocality, 0.85);
+    }
+    return app;
+}
+
 GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
                      const workload::WorkloadParams &app,
                      std::unique_ptr<workload::TraceSource> source)
@@ -28,7 +42,27 @@ GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
 {
     sys_.validate();
     design_.validate(sys_);
-    buildCommon(app, std::move(source));
+    buildCommon(&app, std::move(source));
+    switch (design_.topology) {
+      case Topology::PrivateBaseline:
+        buildBaseline();
+        break;
+      case Topology::CdXbar:
+        buildCdx();
+        break;
+      case Topology::DcL1:
+        buildDcl1();
+        break;
+    }
+}
+
+GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design)
+    : sys_(sys), design_(design),
+      addrMap_(sys.numL2Slices, sys.numChannels, sys.chunkBytes)
+{
+    sys_.validate();
+    design_.validate(sys_);
+    buildCommon(nullptr, nullptr);
     switch (design_.topology) {
       case Topology::PrivateBaseline:
         buildBaseline();
@@ -100,23 +134,15 @@ GpuSystem::l2BankParams() const
 }
 
 void
-GpuSystem::buildCommon(const workload::WorkloadParams &app,
+GpuSystem::buildCommon(const workload::WorkloadParams *app,
                        std::unique_ptr<workload::TraceSource> source)
 {
     if (source) {
         source_ = std::move(source);
-    } else {
-        workload::WorkloadParams wl = app;
-        if (design_.distributedCta) {
-            // The distributed CTA scheduler [28] maps nearby CTAs to
-            // the same core, confining each core's shared accesses to
-            // a range small enough that even a private L1 captures
-            // much of it (this is why the scheduler shrinks the
-            // paper's DC-L1 headroom).
-            wl.ctaLocality = std::max(wl.ctaLocality, 0.85);
-        }
+    } else if (app) {
         source_ = std::make_unique<workload::SyntheticSource>(
-            wl, sys_.numCores, sys_.lineBytes, sys_.seed);
+            effectiveWorkload(design_, *app), sys_.numCores,
+            sys_.lineBytes, sys_.seed);
     }
 
     const std::uint32_t tracked_caches =
@@ -588,7 +614,7 @@ struct RunLoopGuard
 
 void
 GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
-               const CycleHeartbeat &heartbeat)
+               const CycleHeartbeat &heartbeat, const CycleHook &on_cycle)
 {
     RunLoopGuard guard;
     for (Cycle i = 0; i < warmup_cycles; ++i) {
@@ -606,6 +632,8 @@ GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
         tickOnce();
         if (timeline_)
             timeline_->maybeSample(cycle_);
+        if (on_cycle && !on_cycle(cycle_))
+            break;
         if ((i & 4095) == 4095) {
             DCL1_CHECK_ONLY(checkInvariants("measure"));
             if (heartbeat)

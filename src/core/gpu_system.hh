@@ -46,6 +46,16 @@ namespace dcl1::core
  */
 Cycle timelineIntervalFromEnv();
 
+/**
+ * The workload a design actually runs: applies design-driven
+ * adjustments (today: the distributed CTA scheduler's locality boost)
+ * to the catalog parameters. GpuSystem's built-in source uses this;
+ * external sources (the serving layer's per-job streams) must apply it
+ * themselves to stay equivalent to the classic path.
+ */
+workload::WorkloadParams effectiveWorkload(const DesignConfig &design,
+                                           workload::WorkloadParams app);
+
 /** Results of a measured simulation interval. */
 struct RunMetrics
 {
@@ -93,6 +103,15 @@ class GpuSystem
     GpuSystem(const SystemConfig &sys, const DesignConfig &design,
               const workload::WorkloadParams &app,
               std::unique_ptr<workload::TraceSource> source = nullptr);
+
+    /**
+     * Build an idle machine: every core starts with no instruction
+     * stream and issues nothing. The serving layer binds and unbinds
+     * per-job streams on individual cores mid-run
+     * (LiteCore::bindSource).
+     */
+    GpuSystem(const SystemConfig &sys, const DesignConfig &design);
+
     ~GpuSystem();
 
     GpuSystem(const GpuSystem &) = delete;
@@ -107,11 +126,20 @@ class GpuSystem
     using CycleHeartbeat = std::function<void(Cycle)>;
 
     /**
+     * Called after every measured cycle when set; return false to end
+     * the run early. The serving layer drives job arrivals, scheduling
+     * and completion detection from this hook while reusing run()'s
+     * leak guards, timeline sampling and invariant cadence.
+     */
+    using CycleHook = std::function<bool(Cycle)>;
+
+    /**
      * Simulate warmup + measure cycles; statistics cover only the
      * measured interval.
      */
     void run(Cycle measure_cycles, Cycle warmup_cycles = 0,
-             const CycleHeartbeat &heartbeat = {});
+             const CycleHeartbeat &heartbeat = {},
+             const CycleHook &on_cycle = {});
 
     /** Advance a single core cycle (exposed for tests). */
     void tickOnce();
@@ -215,7 +243,8 @@ class GpuSystem
     }
 
   private:
-    void buildCommon(const workload::WorkloadParams &app,
+    /** @p app may be null: no built-in source, cores start idle. */
+    void buildCommon(const workload::WorkloadParams *app,
                      std::unique_ptr<workload::TraceSource> source);
     void buildBaseline();
     void buildCdx();

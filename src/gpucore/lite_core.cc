@@ -14,10 +14,9 @@ LiteCore::LiteCore(const LiteCoreParams &params,
       outbound_(params.outQueueCap),
       statGroup_("core" + std::to_string(params.id))
 {
-    if (!source)
-        fatal("LiteCore %u: null trace source", params.id);
-
-    numWarps_ = source->warpsPerCore(params.id);
+    // A null source builds an idle core (serving layer); bindSource()
+    // attaches the first stream later.
+    numWarps_ = source ? source->warpsPerCore(params.id) : 0;
     warps_.resize(numWarps_);
     for (WarpId w = 0; w < numWarps_; ++w)
         readyWarps_.push_back(w);
@@ -49,9 +48,49 @@ LiteCore::tick(Cycle now)
 }
 
 void
+LiteCore::bindSource(workload::TraceSource *source)
+{
+    if (!source)
+        fatal("core %u: bindSource(null)", params_.id);
+    if (busy())
+        panic("core %u: binding a stream onto a busy core", params_.id);
+    source_ = source;
+    sourceClosed_ = false;
+    bindingInstructions_ = 0;
+    numWarps_ = source->warpsPerCore(params_.id);
+    warps_.assign(numWarps_, WarpCtx{});
+    readyWarps_.clear();
+    for (WarpId w = 0; w < numWarps_; ++w)
+        readyWarps_.push_back(w);
+}
+
+void
+LiteCore::closeSource()
+{
+    sourceClosed_ = true;
+    // Stashed instructions were never issued (and never counted):
+    // dropping them keeps the per-binding odometer honest and frees
+    // their warps from a fetch that will no longer happen.
+    for (auto &ctx : warps_)
+        ctx.hasStashedInstr = false;
+}
+
+void
+LiteCore::unbindSource()
+{
+    if (busy())
+        panic("core %u: unbinding a busy core", params_.id);
+    source_ = nullptr;
+    sourceClosed_ = false;
+    numWarps_ = 0;
+    warps_.clear();
+    readyWarps_.clear();
+}
+
+void
 LiteCore::issue(Cycle now)
 {
-    if (!issueEnabled_)
+    if (!issueEnabled_ || !source_ || sourceClosed_)
         return;
     std::uint32_t issued = 0;
     std::uint32_t scanned = 0;
@@ -72,6 +111,7 @@ LiteCore::issue(Cycle now)
 
         if (!instr.isMem) {
             ++instructions_;
+            ++bindingInstructions_;
             ++arithInstrs_;
             ++issued;
             ctx.hasStashedInstr = false;
@@ -108,6 +148,7 @@ LiteCore::issue(Cycle now)
 
         ctx.hasStashedInstr = false;
         ++instructions_;
+        ++bindingInstructions_;
         ++memInstrs_;
         ++issued;
 

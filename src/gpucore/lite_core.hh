@@ -62,7 +62,10 @@ class LiteCore
   public:
     /**
      * @param params core configuration
-     * @param source instruction stream generator (not owned)
+     * @param source instruction stream generator (not owned; null
+     *        builds an idle core that issues nothing until
+     *        bindSource() attaches a stream — the serving layer's
+     *        starting state)
      * @param listener replication directory for the private L1 (may be
      *        null; only used when hasL1)
      */
@@ -71,6 +74,40 @@ class LiteCore
 
     /** Advance one core cycle. */
     void tick(Cycle now);
+
+    /// @name Mid-run workload binding (serving layer)
+    /// @{
+    /**
+     * Attach a new instruction stream to an idle core: warp contexts
+     * and the ready list are rebuilt from the new stream's
+     * warpsPerCore(), and the per-binding instruction counter restarts
+     * at zero. panic()s if the core still has in-flight work.
+     */
+    void bindSource(workload::TraceSource *source);
+
+    /**
+     * Stop fetching new instructions from the bound stream; in-flight
+     * memory requests keep draining. The core reports !busy() once the
+     * last reply lands, at which point unbindSource() is legal.
+     */
+    void closeSource();
+
+    /** Detach the stream from a drained core (panic()s if busy). */
+    void unbindSource();
+
+    bool hasSource() const { return source_ != nullptr; }
+    bool sourceClosed() const { return sourceClosed_; }
+
+    /**
+     * Instructions issued since the last bindSource() (or since
+     * construction). Unlike the instructions stat this is never reset
+     * by resetStats() — it is the job-completion odometer.
+     */
+    std::uint64_t sourceInstructions() const
+    {
+        return bindingInstructions_;
+    }
+    /// @}
 
     /** Gate instruction issue (used by GpuSystem::drain). */
     void setIssueEnabled(bool enabled) { issueEnabled_ = enabled; }
@@ -151,6 +188,8 @@ class LiteCore
     std::uint32_t outstandingWrites_ = 0;
     std::uint64_t outstandingReads_ = 0;
     bool issueEnabled_ = true;
+    bool sourceClosed_ = false;
+    std::uint64_t bindingInstructions_ = 0;
     stats::LatencyAttribution *tlm_ = nullptr;
 
     stats::StatGroup statGroup_;

@@ -1,0 +1,50 @@
+#include "serve/arrival.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dcl1::serve
+{
+
+PoissonArrivals::PoissonArrivals(double jobsPerKcycle, std::uint64_t seed)
+    : rate_(jobsPerKcycle), meanGap_(0.0), rng_(seed)
+{
+    if (!(jobsPerKcycle > 0.0))
+        fatal("Poisson arrival rate must be > 0 (got %f)", jobsPerKcycle);
+    meanGap_ = 1000.0 / rate_;
+}
+
+Cycle
+PoissonArrivals::nextGap()
+{
+    // Inverse CDF of Exp(1/meanGap). uniform() is in [0, 1), so the
+    // log argument stays strictly positive.
+    const double u = rng_.uniform();
+    const double gap = -std::log(1.0 - u) * meanGap_;
+    const double rounded = std::floor(gap + 0.5);
+    if (rounded < 1.0)
+        return 1;
+    return static_cast<Cycle>(rounded);
+}
+
+FixedArrivals::FixedArrivals(std::vector<Cycle> gaps)
+    : gaps_(std::move(gaps))
+{
+    if (gaps_.empty())
+        fatal("FixedArrivals needs at least one gap");
+    for (auto &g : gaps_)
+        if (g == 0)
+            g = 1;
+}
+
+Cycle
+FixedArrivals::nextGap()
+{
+    const Cycle g = gaps_[next_];
+    if (next_ + 1 < gaps_.size())
+        ++next_;
+    return g;
+}
+
+} // namespace dcl1::serve

@@ -1,0 +1,199 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dcl1::serve
+{
+
+CoreMap::CoreMap(std::uint32_t numCores)
+    : free_(numCores, 1), freeCount_(numCores)
+{
+    if (numCores == 0)
+        fatal("CoreMap needs at least one core");
+}
+
+std::uint32_t
+CoreMap::freeInRange(CoreId lo, CoreId hi) const
+{
+    std::uint32_t n = 0;
+    for (CoreId c = lo; c < hi && c < free_.size(); ++c)
+        n += free_[c] ? 1u : 0u;
+    return n;
+}
+
+std::vector<CoreId>
+CoreMap::claimLowest(std::uint32_t n, CoreId lo, CoreId hi)
+{
+    std::vector<CoreId> out;
+    out.reserve(n);
+    for (CoreId c = lo; c < hi && c < free_.size() && out.size() < n; ++c) {
+        if (free_[c]) {
+            free_[c] = 0;
+            --freeCount_;
+            out.push_back(c);
+        }
+    }
+    if (out.size() < n)
+        panic("CoreMap: claimed %zu of %u cores in [%u, %u)", out.size(),
+              n, lo, hi);
+    return out;
+}
+
+void
+CoreMap::release(const std::vector<CoreId> &cores)
+{
+    for (const CoreId c : cores) {
+        if (c >= free_.size() || free_[c])
+            panic("CoreMap: releasing core %u that is not claimed", c);
+        free_[c] = 1;
+        ++freeCount_;
+    }
+}
+
+Policy
+policyByName(const std::string &name)
+{
+    if (name == "fcfs")
+        return Policy::Fcfs;
+    if (name == "sjf")
+        return Policy::Sjf;
+    if (name == "rr")
+        return Policy::RoundRobin;
+    fatal("unknown scheduling policy '%s' (fcfs, sjf, rr)", name.c_str());
+}
+
+const char *
+policyName(Policy p)
+{
+    switch (p) {
+      case Policy::Fcfs:
+        return "fcfs";
+      case Policy::Sjf:
+        return "sjf";
+      case Policy::RoundRobin:
+        return "rr";
+    }
+    panic("bad policy %u", static_cast<unsigned>(p));
+}
+
+namespace
+{
+
+class FcfsScheduler : public Scheduler
+{
+  public:
+    explicit FcfsScheduler(std::uint32_t numCores) : numCores_(numCores) {}
+
+    std::size_t
+    pick(const std::vector<QueuedJob> &waiting, CoreMap &cores,
+         std::vector<CoreId> &cores_out) override
+    {
+        if (waiting.empty())
+            return npos;
+        const QueuedJob &head = waiting.front();
+        const std::uint32_t n =
+            std::max(1u, std::min(head.cores, numCores_));
+        if (cores.freeCount() < n)
+            return npos;
+        cores_out = cores.claimLowest(n, 0, numCores_);
+        return 0;
+    }
+
+  private:
+    std::uint32_t numCores_;
+};
+
+class SjfScheduler : public Scheduler
+{
+  public:
+    explicit SjfScheduler(std::uint32_t numCores) : numCores_(numCores) {}
+
+    std::size_t
+    pick(const std::vector<QueuedJob> &waiting, CoreMap &cores,
+         std::vector<CoreId> &cores_out) override
+    {
+        std::size_t best = npos;
+        std::uint32_t best_n = 0;
+        for (std::size_t i = 0; i < waiting.size(); ++i) {
+            const std::uint32_t n =
+                std::max(1u, std::min(waiting[i].cores, numCores_));
+            if (cores.freeCount() < n)
+                continue;
+            // waiting is in arrival order, so strict < keeps the
+            // earliest arrival among equal budgets.
+            if (best == npos || waiting[i].budget < waiting[best].budget) {
+                best = i;
+                best_n = n;
+            }
+        }
+        if (best == npos)
+            return npos;
+        cores_out = cores.claimLowest(best_n, 0, numCores_);
+        return best;
+    }
+
+  private:
+    std::uint32_t numCores_;
+};
+
+class RoundRobinScheduler : public Scheduler
+{
+  public:
+    RoundRobinScheduler(std::uint32_t numCores, std::uint32_t numTenants)
+        : numTenants_(numTenants), partition_(numCores / numTenants)
+    {
+        if (partition_ == 0)
+            fatal("rr policy: %u tenants need at least %u cores",
+                  numTenants, numTenants);
+    }
+
+    std::size_t
+    pick(const std::vector<QueuedJob> &waiting, CoreMap &cores,
+         std::vector<CoreId> &cores_out) override
+    {
+        for (std::uint32_t k = 0; k < numTenants_; ++k) {
+            const std::uint32_t t = (next_ + k) % numTenants_;
+            const CoreId lo = t * partition_;
+            const CoreId hi = lo + partition_;
+            for (std::size_t i = 0; i < waiting.size(); ++i) {
+                if (waiting[i].tenant % numTenants_ != t)
+                    continue;
+                const std::uint32_t n =
+                    std::max(1u, std::min(waiting[i].cores, partition_));
+                if (cores.freeInRange(lo, hi) < n)
+                    break; // tenant-local FCFS: no backfilling
+                cores_out = cores.claimLowest(n, lo, hi);
+                next_ = (t + 1) % numTenants_;
+                return i;
+            }
+        }
+        return npos;
+    }
+
+  private:
+    std::uint32_t numTenants_;
+    std::uint32_t partition_;
+    std::uint32_t next_ = 0;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(Policy policy, std::uint32_t numCores,
+              std::uint32_t numTenants)
+{
+    switch (policy) {
+      case Policy::Fcfs:
+        return std::make_unique<FcfsScheduler>(numCores);
+      case Policy::Sjf:
+        return std::make_unique<SjfScheduler>(numCores);
+      case Policy::RoundRobin:
+        return std::make_unique<RoundRobinScheduler>(
+            numCores, std::max(1u, numTenants));
+    }
+    panic("bad policy %u", static_cast<unsigned>(policy));
+}
+
+} // namespace dcl1::serve

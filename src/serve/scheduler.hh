@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Pluggable admission/placement policies for the serving layer.
+ *
+ * Each cycle the serving loop repeatedly asks the scheduler to pick
+ * one waiting job and a set of free physical cores for it, until the
+ * scheduler passes. Policies differ in which job they consider and
+ * which cores they may hand out:
+ *
+ *  - FCFS: strict head-of-line — the oldest waiting job runs next or
+ *    nothing does (no backfilling; queueing delay is honest).
+ *  - SJF: smallest instruction budget that fits the free cores
+ *    (backfills around a blocked large job; ties break by arrival).
+ *  - RR: cores are statically partitioned across tenants (mix
+ *    entries); each tenant runs FCFS within its partition and the
+ *    pick rotates over tenants, so one tenant's burst cannot starve
+ *    another — the isolation baseline for fairness studies.
+ */
+
+#ifndef DCL1_SERVE_SCHEDULER_HH
+#define DCL1_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dcl1::serve
+{
+
+/** Free/busy map of the machine's physical cores. */
+class CoreMap
+{
+  public:
+    explicit CoreMap(std::uint32_t numCores);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(free_.size());
+    }
+    std::uint32_t freeCount() const { return freeCount_; }
+
+    /** Free cores within [lo, hi). */
+    std::uint32_t freeInRange(CoreId lo, CoreId hi) const;
+
+    /**
+     * Claim the @p n lowest-numbered free cores in [lo, hi); returns
+     * them in ascending order. panic()s if fewer than @p n are free —
+     * callers must check first.
+     */
+    std::vector<CoreId> claimLowest(std::uint32_t n, CoreId lo, CoreId hi);
+
+    /** Return cores to the free pool. */
+    void release(const std::vector<CoreId> &cores);
+
+  private:
+    std::vector<char> free_;
+    std::uint32_t freeCount_ = 0;
+};
+
+/** A job waiting for cores. */
+struct QueuedJob
+{
+    std::size_t id = 0;
+    std::uint32_t tenant = 0; ///< mix-entry index
+    std::uint32_t cores = 1;  ///< requested core count
+    std::uint64_t budget = 1; ///< instruction budget
+    Cycle arrival = 0;
+};
+
+/** Scheduling policy selector. */
+enum class Policy : std::uint8_t
+{
+    Fcfs,
+    Sjf,
+    RoundRobin,
+};
+
+/** Parse "fcfs" / "sjf" / "rr"; fatal() on anything else. */
+Policy policyByName(const std::string &name);
+
+/** Stable lowercase name of a policy. */
+const char *policyName(Policy p);
+
+/** See file comment. */
+class Scheduler
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose the next waiting job to start. @p waiting is in arrival
+     * order. On success, claims cores from @p cores, fills
+     * @p cores_out with them and returns the job's index in
+     * @p waiting; returns npos when nothing can start this cycle.
+     * A policy may grant fewer cores than requested (RR clamps to the
+     * tenant's partition) but never zero.
+     */
+    virtual std::size_t pick(const std::vector<QueuedJob> &waiting,
+                             CoreMap &cores,
+                             std::vector<CoreId> &cores_out) = 0;
+};
+
+/**
+ * Build a policy instance for a machine of @p numCores and a mix of
+ * @p numTenants entries (RR fatal()s when numTenants > numCores).
+ */
+std::unique_ptr<Scheduler> makeScheduler(Policy policy,
+                                         std::uint32_t numCores,
+                                         std::uint32_t numTenants);
+
+} // namespace dcl1::serve
+
+#endif // DCL1_SERVE_SCHEDULER_HH

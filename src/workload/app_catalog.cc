@@ -1,5 +1,7 @@
 #include "workload/app_catalog.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace dcl1::workload
@@ -307,10 +309,56 @@ buildCatalog()
 
     if (apps.size() != 28)
         panic("app catalog must have 28 apps, has %zu", apps.size());
+
+    // Serving metadata is derived, not hand-tuned: every entry gets a
+    // footprint class and a nominal job length from its parameters.
+    for (auto &app : apps) {
+        app.footprint = footprintClassFor(app.params);
+        app.nominalInstrBudget = nominalInstrBudgetFor(app.params);
+    }
     return apps;
 }
 
 } // anonymous namespace
+
+const char *
+footprintClassName(FootprintClass c)
+{
+    switch (c) {
+      case FootprintClass::Small:
+        return "small";
+      case FootprintClass::Medium:
+        return "medium";
+      case FootprintClass::Large:
+        return "large";
+    }
+    panic("bad footprint class %u", static_cast<unsigned>(c));
+}
+
+FootprintClass
+footprintClassFor(const WorkloadParams &p)
+{
+    const std::uint64_t lines = p.sharedLines + p.privateLines;
+    if (lines < 2048)
+        return FootprintClass::Small;
+    if (lines < 8192)
+        return FootprintClass::Medium;
+    return FootprintClass::Large;
+}
+
+std::uint64_t
+nominalInstrBudgetFor(const WorkloadParams &p)
+{
+    const std::uint64_t lines = p.sharedLines + p.privateLines;
+    // Memory instructions per pass over the footprint, then total
+    // instructions at the app's arithmetic intensity.
+    const double mem_instrs =
+        double(lines) / double(std::max(1u, p.coalescedAccesses));
+    const double per_pass = mem_instrs / std::max(0.01, p.memRatio);
+    const double budget = 8.0 * per_pass;
+    const double clamped = std::min(1'000'000.0, std::max(50'000.0, budget));
+    return static_cast<std::uint64_t>(clamped);
+}
 
 const std::vector<AppInfo> &
 appCatalog()

@@ -24,12 +24,44 @@
 namespace dcl1::workload
 {
 
+/**
+ * Footprint class of an application: its combined shared + private
+ * working set relative to one L1. The serving layer's job-mix
+ * generator uses this to size a job's default core allocation.
+ */
+enum class FootprintClass : std::uint8_t
+{
+    Small,  ///< fits comfortably in one private L1
+    Medium, ///< a few L1s; benefits from aggregation
+    Large,  ///< approaches the aggregate L1 capacity
+};
+
+/** Stable lowercase name ("small"/"medium"/"large"). */
+const char *footprintClassName(FootprintClass c);
+
+/** Classify a workload by sharedLines + privateLines. */
+FootprintClass footprintClassFor(const WorkloadParams &p);
+
+/**
+ * Nominal per-job instruction budget: roughly eight passes over the
+ * application's footprint at its arithmetic intensity, clamped to
+ * [50k, 1M]. The serving layer uses this as the default job length
+ * when a mix entry does not override it.
+ */
+std::uint64_t nominalInstrBudgetFor(const WorkloadParams &p);
+
 /** Catalog entry: parameters plus the paper's classification. */
 struct AppInfo
 {
     WorkloadParams params;
     bool replicationSensitive = false;
     bool poorUnderSh40 = false;
+
+    /// @name Serving metadata (derived; see footprintClassFor)
+    /// @{
+    FootprintClass footprint = FootprintClass::Small;
+    std::uint64_t nominalInstrBudget = 0;
+    /// @}
 };
 
 /** All 28 applications, in catalog order. */

@@ -1,0 +1,8 @@
+// R11 fixture: exec header, one band below serve.
+
+#ifndef FIXTURE_EXEC_RUNNER_HH
+#define FIXTURE_EXEC_RUNNER_HH
+
+#include "common/log.hh"
+
+#endif

@@ -1,0 +1,9 @@
+// R11 fixture: the execution engine must not know about serving.
+
+#include "serve/serve_sim.hh" // expect: R11
+#include "exec/runner.hh"
+
+void
+engine()
+{
+}

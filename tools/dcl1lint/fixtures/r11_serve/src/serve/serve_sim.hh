@@ -1,0 +1,9 @@
+// R11 fixture: serve sits above exec and may include downward freely.
+
+#ifndef FIXTURE_SERVE_SERVE_SIM_HH
+#define FIXTURE_SERVE_SERVE_SIM_HH
+
+#include "common/log.hh"
+#include "exec/runner.hh"
+
+#endif

@@ -1,0 +1,9 @@
+// R11 fixture: the serving layer must not reach up into entry points.
+
+#include "tools/cli.hh" // expect: R11
+#include "serve/serve_sim.hh"
+
+void
+serveModel()
+{
+}

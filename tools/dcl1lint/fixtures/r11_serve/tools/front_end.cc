@@ -1,0 +1,9 @@
+// R11 fixture: entry points may include the serving layer.
+
+#include "serve/serve_sim.hh"
+
+int
+main()
+{
+    return 0;
+}

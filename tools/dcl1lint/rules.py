@@ -449,7 +449,8 @@ class LayeringRule:
     band (check speaks mem::MemRequest, mem instruments through the
     request ledger — that mutual coupling is why they share a band);
     gpucore composes mem+noc, core assembles systems, power models on
-    top of core runs, exec drives whole systems, and the entry points
+    top of core runs, exec drives whole systems, serve orchestrates
+    multi-job traffic over exec-driven systems, and the entry points
     sit above everything. tests/ are exempt. The rule also rejects any
     file-level include cycle outright.
     """
@@ -461,8 +462,8 @@ class LayeringRule:
     description = ("an #include may only reach into the same or a "
                    "lower architecture band (common → stats → "
                    "{mem, noc, workload, check} → gpucore → core → "
-                   "power → exec → {tools, bench}); file-level "
-                   "include cycles are always errors.")
+                   "power → exec → serve → {tools, bench}); "
+                   "file-level include cycles are always errors.")
     BANDS = [
         ("common",),
         ("stats",),
@@ -471,6 +472,7 @@ class LayeringRule:
         ("core",),
         ("power",),
         ("exec",),
+        ("serve",),
         ("tools", "bench", "examples"),
     ]
 
