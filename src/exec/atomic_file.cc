@@ -30,7 +30,13 @@ AtomicFileWriter::commit()
         panic("AtomicFileWriter: double commit of '%s'", path_.c_str());
     committed_ = true;
 
-    const std::string tmp = path_ + ".tmp";
+    // Per-process temp name: fleet workers rewrite the same manifest
+    // concurrently, and a shared ".tmp" would let one process rename
+    // another's half-written file (or fail on ENOENT after losing the
+    // race). Each writes its own temp; rename(2) arbitrates.
+    const std::string tmp =
+        csprintf("%s.tmp.%ld", path_.c_str(),
+                 static_cast<long>(::getpid()));
     // The one sanctioned raw write (see file comment in the header).
     std::FILE *f = std::fopen(tmp.c_str(), "w"); // lint: rawwrite-ok
     if (!f)

@@ -46,9 +46,11 @@ class AtomicFileWriter
     std::ostream &stream() { return buf_; }
 
     /**
-     * Publish: write the buffer to "<path>.tmp", flush + fsync, then
-     * rename over the destination. fatal() on any I/O error (a result
-     * file that silently failed to land is worse than a crash).
+     * Publish: write the buffer to "<path>.tmp.<pid>" (per-process,
+     * so concurrent fleet workers rewriting the same file never touch
+     * each other's temp), flush + fsync, then rename over the
+     * destination. fatal() on any I/O error (a result file that
+     * silently failed to land is worse than a crash).
      */
     void commit();
 

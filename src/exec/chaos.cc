@@ -1,0 +1,126 @@
+#include "exec/chaos.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "common/log.hh"
+
+namespace dcl1::exec
+{
+
+namespace
+{
+
+/**
+ * Process-wide armed configuration. Written once at startup (flag /
+ * env parsing), read from the simulation loop; plain object + atomic
+ * cell counter keeps the disarmed fast path to one relaxed load.
+ */
+ChaosConfig chaos;
+
+/** Fresh cells this process has started executing (1-based victim). */
+std::atomic<std::size_t> cellsStarted{0};
+
+} // anonymous namespace
+
+ChaosConfig
+ChaosConfig::parse(const std::string &spec)
+{
+    ChaosConfig config;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        const std::size_t eq = token.find('=');
+        const std::string name = token.substr(0, eq);
+        if (name == "drop-heartbeat") {
+            if (eq != std::string::npos)
+                fatal("DCL1_CHAOS: drop-heartbeat takes no value "
+                      "(got '%s')", token.c_str());
+            config.dropHeartbeat = true;
+        } else if (name == "kill-after") {
+            if (eq == std::string::npos)
+                fatal("DCL1_CHAOS: kill-after needs a value "
+                      "(kill-after=N)");
+            config.killAfterCells = static_cast<std::size_t>(
+                parseEnvInt("DCL1_CHAOS kill-after",
+                            token.substr(eq + 1).c_str(), 1,
+                            std::int64_t(1) << 40));
+        } else if (name == "kill-at-cycle") {
+            if (eq == std::string::npos)
+                fatal("DCL1_CHAOS: kill-at-cycle needs a value "
+                      "(kill-at-cycle=N)");
+            config.killAtCycle = static_cast<Cycle>(
+                parseEnvInt("DCL1_CHAOS kill-at-cycle",
+                            token.substr(eq + 1).c_str(), 0,
+                            std::int64_t(1) << 60));
+        } else {
+            fatal("DCL1_CHAOS: unknown token '%s' (expected "
+                  "kill-after=N, kill-at-cycle=N, drop-heartbeat)",
+                  token.c_str());
+        }
+    }
+    return config;
+}
+
+ChaosConfig
+ChaosConfig::fromEnv()
+{
+    return parse(envStrOr("DCL1_CHAOS", ""));
+}
+
+void
+setChaosConfig(const ChaosConfig &config)
+{
+    chaos = config;
+    cellsStarted.store(0, std::memory_order_relaxed);
+}
+
+const ChaosConfig &
+chaosConfig()
+{
+    return chaos;
+}
+
+void
+chaosCellStarted()
+{
+    cellsStarted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+chaosCycleHeartbeat(Cycle cell_cycle)
+{
+    if (chaos.killAfterCells == 0)
+        return;
+    if (cellsStarted.load(std::memory_order_relaxed) !=
+        chaos.killAfterCells)
+        return;
+    if (cell_cycle < chaos.killAtCycle)
+        return;
+    // Die the way SIGKILL does: no destructors, no atexit, no lease
+    // release, no manifest finalize. Anything the recovery protocol
+    // would miss here it would also miss for a real crash.
+    std::fprintf(stderr,
+                 "dcl1-chaos: killing worker during cell %zu at cycle "
+                 "%llu\n",
+                 chaos.killAfterCells,
+                 static_cast<unsigned long long>(cell_cycle));
+    std::fflush(stderr);
+    std::_Exit(kChaosKillStatus);
+}
+
+bool
+chaosDropHeartbeat()
+{
+    return chaos.dropHeartbeat;
+}
+
+} // namespace dcl1::exec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic fault injection for crash-tolerance testing.
+ *
+ * The fleet coordination protocol (leases, heartbeats, reclamation)
+ * only earns trust if worker death is *provoked on purpose* at
+ * reproducible points and the run still converges on byte-identical
+ * results. The chaos harness arms two failure modes:
+ *
+ *  - kill-after=N: while executing its N-th freshly claimed cell (1-
+ *    based), once the cell's simulation passes kill-at-cycle simulated
+ *    cycles, the process dies via _Exit — no destructors, no manifest
+ *    finalize, no lease release: exactly what SIGKILL mid-cell leaves
+ *    behind. The seed point (cell ordinal, simulated cycle) is
+ *    deterministic for a --jobs=1 worker.
+ *
+ *  - drop-heartbeat: the heartbeat thread silently stops renewing
+ *    while the worker keeps simulating — the "alive but stalled"
+ *    zombie whose leases age out, get reclaimed, and whose results
+ *    must then be dropped unpublished.
+ *
+ * Armed via the DCL1_CHAOS environment variable (comma-separated
+ * `kill-after=N`, `kill-at-cycle=N`, `drop-heartbeat`) or the
+ * equivalent dcl1sweep --chaos-* flags. Off by default; the hooks
+ * compile to a relaxed atomic load on the cell-start path and nothing
+ * on the per-cycle path until armed.
+ */
+
+#ifndef DCL1_EXEC_CHAOS_HH
+#define DCL1_EXEC_CHAOS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dcl1::exec
+{
+
+/** Armed failure modes (see file comment). */
+struct ChaosConfig
+{
+    /** Die during the N-th freshly executed cell; 0 = disarmed. */
+    std::size_t killAfterCells = 0;
+
+    /** Simulated cycle within the victim cell at which to die. */
+    Cycle killAtCycle = 2048;
+
+    /** Stop renewing leases while continuing to simulate. */
+    bool dropHeartbeat = false;
+
+    bool any() const { return killAfterCells > 0 || dropHeartbeat; }
+
+    /** Parse DCL1_CHAOS (strict: unknown tokens are fatal). */
+    static ChaosConfig fromEnv();
+
+    /** Parse a DCL1_CHAOS-style spec string (strict). */
+    static ChaosConfig parse(const std::string &spec);
+};
+
+/** Arm (or disarm, with a default config) the process-wide harness. */
+void setChaosConfig(const ChaosConfig &config);
+
+/** The armed process-wide configuration. */
+const ChaosConfig &chaosConfig();
+
+/** A fresh (non-resumed) cell execution just started. */
+void chaosCellStarted();
+
+/** Per-cell run-loop heartbeat hook: dies at the seeded point. */
+void chaosCycleHeartbeat(Cycle cell_cycle);
+
+/** Should the heartbeat thread skip renewals? */
+bool chaosDropHeartbeat();
+
+/**
+ * Exit status of a chaos kill: 128+9, what a shell reports for a
+ * SIGKILLed process, so launchers treat both deaths identically.
+ */
+inline constexpr int kChaosKillStatus = 137;
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_CHAOS_HH

@@ -40,13 +40,21 @@ inline constexpr int kExitResumable = 4;
  *  were written; the quarantine report lists the poisoned cells. */
 inline constexpr int kExitQuarantined = 5;
 
+/** The named run directory exists but cannot be used by this
+ *  invocation: its manifest was written by an incompatible build (WAL
+ *  schema / DCL1_CHECK signature mismatch) or is not a dcl1 manifest
+ *  at all. Distinct from kExitConfigError so fleet launchers can tell
+ *  "wrong binary against this run directory" (stop the fleet) apart
+ *  from a worker's bad flag. */
+inline constexpr int kExitIncompatibleRunDir = 6;
+
 /** One-paragraph contract shared by both tools' --help output. */
 inline constexpr const char *kExitCodeContract =
     "exit codes: 0 ok; 1 bad configuration/options; 2 single run "
     "failed (dcl1run); 3 sweep completed with retryable failed cells "
     "(rows dropped); 4 sweep interrupted, resumable with --resume=DIR; "
     "5 sweep completed with deterministically failing (quarantined) "
-    "cells";
+    "cells; 6 run directory written by an incompatible build/schema";
 
 } // namespace dcl1::exec
 

@@ -1,0 +1,118 @@
+#include "exec/heartbeat.hh"
+
+#include <chrono>
+#include <vector>
+
+#include "common/log.hh"
+#include "exec/chaos.hh"
+#include "exec/lease.hh"
+
+namespace dcl1::exec
+{
+
+namespace
+{
+
+// Host pacing of the renewal loop, never simulated time; audited
+// exception to the simulation no-wallclock rule.
+using HostClock = std::chrono::steady_clock; // lint: wallclock-ok
+
+/** Stop-check granularity: bounds stop() latency, not renewal rate. */
+constexpr std::int64_t kSliceMs = 10;
+
+} // anonymous namespace
+
+HeartbeatThread::HeartbeatThread(LeaseDir &leases,
+                                 std::int64_t interval_ms)
+    : leases_(leases), intervalMs_(interval_ms > 0 ? interval_ms : 1)
+{
+}
+
+HeartbeatThread::~HeartbeatThread()
+{
+    stop();
+}
+
+void
+HeartbeatThread::start()
+{
+    if (running_.exchange(true))
+        return;
+    stopRequested_.store(false);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+HeartbeatThread::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopRequested_.store(true);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+HeartbeatThread::track(const std::string &key)
+{
+    MutexLock lock(mutex_);
+    tracked_.insert(key);
+    lost_.erase(key); // a re-claimed cell starts with a clean slate
+}
+
+void
+HeartbeatThread::untrack(const std::string &key)
+{
+    MutexLock lock(mutex_);
+    tracked_.erase(key);
+}
+
+bool
+HeartbeatThread::lost(const std::string &key) const
+{
+    MutexLock lock(mutex_);
+    return lost_.count(key) != 0;
+}
+
+void
+HeartbeatThread::loop()
+{
+    auto next = HostClock::now() +
+                std::chrono::milliseconds(intervalMs_);
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+        if (HostClock::now() < next) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kSliceMs));
+            continue;
+        }
+        next = HostClock::now() +
+               std::chrono::milliseconds(intervalMs_);
+
+        // Chaos "stalled worker": keep running, stop renewing. The
+        // worker becomes a zombie whose leases age out and get
+        // reclaimed while it still computes.
+        if (chaosDropHeartbeat())
+            continue;
+
+        std::vector<std::string> keys;
+        {
+            MutexLock lock(mutex_);
+            keys.assign(tracked_.begin(), tracked_.end());
+        }
+        for (const std::string &key : keys) {
+            if (stopRequested_.load(std::memory_order_relaxed))
+                return;
+            if (leases_.renew(key))
+                continue;
+            // Reclaimed under us: remember the loss so the worker
+            // drops the cell's result, and stop renewing a file that
+            // is no longer ours (renewing would resurrect it).
+            MutexLock lock(mutex_);
+            tracked_.erase(key);
+            lost_.insert(key);
+        }
+        beats_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace dcl1::exec

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dedicated lease-renewal thread for fleet workers.
+ *
+ * A worker's leases must keep their mtimes fresh while the worker is
+ * busy simulating, or reclaimers would declare it dead mid-cell. The
+ * HeartbeatThread renews every tracked lease each interval by
+ * atomically rewriting its claim file with the next monotone sequence
+ * number. Renewal failure means the lease was reclaimed (the worker
+ * was presumed dead): the key is marked *lost* and dropped from
+ * tracking, and the owning job's result is discarded before publish.
+ *
+ * The tracked/lost sets are shared with worker threads and guarded by
+ * a dcl1::Mutex with DCL1_GUARDED_BY contracts the `-Wthread-safety`
+ * lane verifies. The loop paces itself with short sleep slices (no
+ * condition variable) so stop() latency stays bounded without waking
+ * hardware timers at renewal frequency.
+ *
+ * Fault injection: when the chaos harness (exec/chaos.hh) is told to
+ * drop heartbeats, the loop silently stops renewing while the worker
+ * keeps simulating — exactly the "alive but stalled" zombie the
+ * reclamation protocol has to get right.
+ */
+
+#ifndef DCL1_EXEC_HEARTBEAT_HH
+#define DCL1_EXEC_HEARTBEAT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/mutex.hh"
+#include "common/thread_annotations.hh"
+
+namespace dcl1::exec
+{
+
+class LeaseDir;
+
+/** See file comment. */
+class HeartbeatThread
+{
+  public:
+    /** Renew tracked leases on @p leases every @p interval_ms. */
+    HeartbeatThread(LeaseDir &leases, std::int64_t interval_ms);
+
+    /** Stops and joins; every tracked lease simply stops renewing. */
+    ~HeartbeatThread();
+
+    HeartbeatThread(const HeartbeatThread &) = delete;
+    HeartbeatThread &operator=(const HeartbeatThread &) = delete;
+
+    /** Launch the renewal thread (idempotent). */
+    void start();
+
+    /** Stop and join the renewal thread (idempotent). */
+    void stop();
+
+    /** Begin renewing @p key (call once the claim is held). */
+    void track(const std::string &key) DCL1_EXCLUDES(mutex_);
+
+    /** Stop renewing @p key (released or abandoned). */
+    void untrack(const std::string &key) DCL1_EXCLUDES(mutex_);
+
+    /** Did a renewal discover that @p key's lease was reclaimed? */
+    bool lost(const std::string &key) const DCL1_EXCLUDES(mutex_);
+
+    /** Completed renewal sweeps (test observability). */
+    std::uint64_t beats() const
+    {
+        return beats_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void loop();
+
+    LeaseDir &leases_;
+    const std::int64_t intervalMs_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<std::uint64_t> beats_{0};
+    mutable Mutex mutex_;
+    std::set<std::string> tracked_ DCL1_GUARDED_BY(mutex_);
+    std::set<std::string> lost_ DCL1_GUARDED_BY(mutex_);
+};
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_HEARTBEAT_HH

@@ -12,12 +12,12 @@ namespace
 volatile std::sig_atomic_t interrupt_flag = 0;
 
 extern "C" void
-sigintHandler(int signum)
+interruptHandler(int signum)
 {
     if (interrupt_flag) {
-        // Second Ctrl-C: the user means it. Restore the default
+        // Second signal: the sender means it. Restore the default
         // disposition and re-raise so the process dies with the
-        // conventional SIGINT status.
+        // conventional status for that signal.
         std::signal(signum, SIG_DFL);
         std::raise(signum);
         return;
@@ -28,9 +28,12 @@ sigintHandler(int signum)
 } // anonymous namespace
 
 void
-installSigintHandler()
+installSignalHandlers()
 {
-    std::signal(SIGINT, sigintHandler);
+    std::signal(SIGINT, interruptHandler);
+    // Fleet orchestrators stop workers with SIGTERM; a cooperative
+    // drain releases leases and leaves the run directory resumable.
+    std::signal(SIGTERM, interruptHandler);
 }
 
 void

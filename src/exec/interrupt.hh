@@ -1,15 +1,20 @@
 /**
  * @file
- * Cooperative SIGINT handling for durable batch runs.
+ * Cooperative SIGINT/SIGTERM handling for durable batch runs.
  *
- * A durable sweep must not die mid-record on Ctrl-C: the handler only
- * raises a flag; the JobRunner stops dispatching new jobs, drains the
- * ones already in flight, finalizes the run manifest, and the tool
- * exits with kExitResumable. A second SIGINT restores the default
- * disposition, so an impatient double Ctrl-C still force-kills.
+ * A durable sweep must not die mid-record on Ctrl-C or a fleet
+ * launcher's terminate: the handler only raises a flag; the JobRunner
+ * stops dispatching new jobs, drains the ones already in flight,
+ * finalizes the run manifest, and the tool exits with kExitResumable.
+ * SIGTERM matters for fleet workers: orchestrators (dcl1fleet, CI
+ * runners, kubelet-style supervisors) terminate with SIGTERM, and a
+ * worker that drains cooperatively releases its leases and leaves a
+ * resumable run directory instead of stale-lease debris. A second
+ * signal (either one) restores the default disposition and re-raises,
+ * so an impatient double Ctrl-C still force-kills.
  *
  * Tests (and the deterministic CI smoke) inject the same signal via
- * requestInterrupt() instead of delivering a real SIGINT.
+ * requestInterrupt() instead of delivering a real signal.
  */
 
 #ifndef DCL1_EXEC_INTERRUPT_HH
@@ -18,8 +23,8 @@
 namespace dcl1::exec
 {
 
-/** Install the cooperative SIGINT handler (idempotent). */
-void installSigintHandler();
+/** Install the cooperative SIGINT+SIGTERM handler (idempotent). */
+void installSignalHandlers();
 
 /** Raise the interrupt flag (what the signal handler does). */
 void requestInterrupt();

@@ -140,6 +140,12 @@ JobRunner::attachManifest(RunManifest *manifest)
     manifest_ = manifest;
 }
 
+void
+JobRunner::attachCoordinator(CellCoordinator *coordinator)
+{
+    coordinator_ = coordinator;
+}
+
 unsigned
 JobRunner::resolveWorkers(std::size_t num_jobs) const
 {
@@ -201,13 +207,27 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     // never touch the same element.
     auto execute = [&](std::size_t index, unsigned worker) {
         const JobSpec &spec = specs[index];
-        sinks_.jobStart(index, spec.label, worker);
 
         JobResult r;
         r.index = index;
         r.label = spec.label;
         r.key = spec.key;
         r.worker = worker;
+
+        // Multi-process claim: exactly one worker process may own a
+        // keyed cell at a time. Busy is not a failure — the cell is
+        // deferred and the worker driver re-checks it next round.
+        const bool coordinated = coordinator_ && !spec.key.empty();
+        if (coordinated &&
+            coordinator_->tryAcquire(spec.key) ==
+                CellCoordinator::Claim::Busy) {
+            r.deferred = true;
+            results[index] = std::move(r);
+            sinks_.jobDone(results[index]);
+            return;
+        }
+
+        sinks_.jobStart(index, spec.label, worker);
         const HostClock::time_point job_start = HostClock::now();
 
         std::string crash_context;
@@ -266,10 +286,18 @@ JobRunner::run(const std::vector<JobSpec> &specs)
         }
         r.wallMs = msSince(job_start);
 
-        if (!r.ok && !crash_dir.empty())
+        // Pre-publish ownership verification: if the lease was
+        // reclaimed while the job ran (this process was presumed
+        // dead), the reclaimer's re-run owns the cell now — drop the
+        // result rather than double-publish.
+        if (coordinated && !coordinator_->confirmPublish(spec.key))
+            r.lost = true;
+
+        if (!r.ok && !r.lost && !crash_dir.empty())
             writeCrashRecord(crash_dir, r, crash_context);
 
-        if (manifest_ && !spec.key.empty() && (r.ok || r.quarantined)) {
+        if (manifest_ && !spec.key.empty() && !r.lost &&
+            (r.ok || r.quarantined)) {
             JobRecord rec;
             rec.key = spec.key;
             rec.label = spec.label;
@@ -283,6 +311,12 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             // RunManifest::append is internally synchronized.
             manifest_->append(rec);
         }
+
+        // Release only after the WAL append: a lease dropped first
+        // would open a window where another worker claims and runs the
+        // cell before this result becomes visible.
+        if (coordinated)
+            coordinator_->release(spec.key);
 
         results[index] = std::move(r);
         sinks_.jobDone(results[index]);
@@ -338,7 +372,8 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     // apart from "ran and failed".
     const bool interrupted = interruptRequested();
     for (std::size_t i = 0; i < n; ++i) {
-        if (!pending[i] || results[i].attempts > 0)
+        if (!pending[i] || results[i].attempts > 0 ||
+            results[i].deferred)
             continue;
         results[i].index = i;
         results[i].label = specs[i].label;
@@ -359,9 +394,15 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             ++summary.skippedJobs;
             continue;
         }
+        if (results[i].deferred) {
+            ++summary.deferredJobs;
+            continue;
+        }
+        if (results[i].lost)
+            ++summary.lostJobs;
         if (results[i].resumed)
             ++summary.resumedJobs;
-        if (!results[i].ok) {
+        if (!results[i].ok && !results[i].lost) {
             ++summary.failedJobs;
             if (results[i].quarantined)
                 ++summary.quarantinedJobs;
@@ -378,7 +419,10 @@ JobRunner::run(const std::vector<JobSpec> &specs)
     by_time.resize(std::min<std::size_t>(n, 5));
     summary.slowest = std::move(by_time);
 
-    if (manifest_)
+    // Under a coordinator one run() is one worker *round*; the worker
+    // driver finalizes once, after its last round, with the fleet
+    // status and the coordinator summary.
+    if (manifest_ && !coordinator_)
         manifest_->finalize(interrupted ? "interrupted" : "complete");
 
     sinks_.runEnd(summary, results);

@@ -1,0 +1,392 @@
+#include "exec/lease.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "exec/atomic_file.hh"
+#include "exec/heartbeat.hh"
+#include "exec/result_sink.hh"
+#include "exec/run_manifest.hh"
+
+namespace dcl1::exec
+{
+
+namespace
+{
+
+/**
+ * Host wall-clock milliseconds (CLOCK_REALTIME), comparable with lease
+ * file mtimes. Never observable by simulated behavior: the TTL only
+ * decides *which worker* runs a cell, and every cell is a pure
+ * function of its configuration.
+ */
+std::int64_t
+nowMs()
+{
+    struct timespec ts = {};
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    return std::int64_t(ts.tv_sec) * 1000 +
+           std::int64_t(ts.tv_nsec) / 1000000;
+}
+
+/** mtime of @p path in ms since the epoch; -1 when stat fails. */
+std::int64_t
+mtimeMs(const std::string &path)
+{
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return std::int64_t(st.st_mtim.tv_sec) * 1000 +
+           std::int64_t(st.st_mtim.tv_nsec) / 1000000;
+}
+
+/** FNV-1a 64-bit: a stable cross-process key hash for file names. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** One lease record, serialized as a single JSON line. */
+std::string
+leaseJson(const std::string &key, const WorkerIdentity &who,
+          std::uint64_t seq)
+{
+    return csprintf(
+        "{\"key\":\"%s\",\"worker\":\"%s\",\"pid\":%ld,"
+        "\"host\":\"%s\",\"seq\":%llu}\n",
+        jsonEscape(key).c_str(), jsonEscape(who.id).c_str(), who.pid,
+        jsonEscape(who.hostname).c_str(),
+        static_cast<unsigned long long>(seq));
+}
+
+/**
+ * Single-write POSIX file creation/replacement. `mode` O_EXCL is the
+ * claim's atomic test-and-set; renewal writes a uniquely-named temp
+ * file and renames it over the lease. Not AtomicFileWriter because a
+ * claim must *fail* when the file exists (rename would smash it) and
+ * a renewal racing a reclaimer must never fatal() the worker.
+ */
+bool
+writeWhole(const std::string &path, const std::string &content,
+           bool exclusive)
+{
+    const int flags =
+        O_WRONLY | O_CREAT | (exclusive ? O_EXCL : O_TRUNC);
+    const int fd = ::open(path.c_str(), flags, 0666);
+    if (fd < 0)
+        return false;
+    const ssize_t wrote = ::write(fd, content.data(), content.size());
+    const bool ok = wrote == static_cast<ssize_t>(content.size()) &&
+                    ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok)
+        ::unlink(path.c_str());
+    return ok;
+}
+
+std::string
+readWhole(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string text;
+    for (std::string line; std::getline(in, line);) {
+        text += line;
+        text += '\n';
+    }
+    return text;
+}
+
+bool
+pidAliveHere(long pid)
+{
+    if (pid <= 0)
+        return false;
+    return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+} // anonymous namespace
+
+WorkerIdentity
+WorkerIdentity::local(std::string id)
+{
+    WorkerIdentity who;
+    who.id = std::move(id);
+    who.pid = static_cast<long>(::getpid());
+    char host[256] = {};
+    if (::gethostname(host, sizeof(host) - 1) != 0)
+        std::strcpy(host, "unknown-host");
+    who.hostname = host;
+    return who;
+}
+
+LeaseDir::LeaseDir(const std::string &run_dir, WorkerIdentity me,
+                   std::int64_t ttl_ms)
+    : dir_(run_dir + "/leases"), me_(std::move(me)), ttlMs_(ttl_ms)
+{
+    if (run_dir.empty())
+        fatal("LeaseDir: empty run-directory path");
+    if (ttlMs_ <= 0)
+        fatal("LeaseDir: lease TTL must be positive (got %lld ms)",
+              static_cast<long long>(ttlMs_));
+    if (me_.id.empty())
+        fatal("LeaseDir: empty worker id");
+    ensureDirectory(dir_);
+}
+
+std::string
+LeaseDir::leaseFileName(const std::string &key)
+{
+    // Keys carry '|', '/', '+'-style separators; the name keeps a
+    // readable sanitized prefix and disambiguates with a stable hash.
+    std::string safe;
+    for (const char c : key) {
+        if (safe.size() >= 40)
+            break;
+        safe += (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '-' || c == '.')
+                    ? c
+                    : '_';
+    }
+    return csprintf("%s-%016llx.lease", safe.c_str(),
+                    static_cast<unsigned long long>(fnv1a(key)));
+}
+
+std::string
+LeaseDir::path(const std::string &key) const
+{
+    return dir_ + "/" + leaseFileName(key);
+}
+
+bool
+LeaseDir::tryClaim(const std::string &key)
+{
+    if (key.empty())
+        return false;
+    if (!writeWhole(path(key), leaseJson(key, me_, 1),
+                    /*exclusive=*/true))
+        return false; // EEXIST (claimed elsewhere) or I/O: defer
+    claims_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+LeaseDir::readLease(const std::string &file, LeaseInfo &out) const
+{
+    out.file = file;
+    const std::int64_t mtime = mtimeMs(file);
+    out.ageMs = mtime < 0 ? 0 : nowMs() - mtime;
+    const std::string text = readWhole(file);
+    std::string pid_raw = jsonFieldRaw(text, "pid");
+    std::string seq_raw = jsonFieldRaw(text, "seq");
+    if (!jsonFieldString(text, "key", out.key) ||
+        !jsonFieldString(text, "worker", out.workerId) ||
+        !jsonFieldString(text, "host", out.hostname) ||
+        pid_raw.empty() || seq_raw.empty()) {
+        // Torn claim (killed between open and write) or garbage: the
+        // scan keeps going; the TTL decides when it becomes debris.
+        out.torn = true;
+        return false;
+    }
+    out.pid = std::strtol(pid_raw.c_str(), nullptr, 10);
+    out.seq = std::strtoull(seq_raw.c_str(), nullptr, 10);
+    out.ownerAlive =
+        out.hostname == me_.hostname && pidAliveHere(out.pid);
+    return true;
+}
+
+bool
+LeaseDir::owned(const std::string &key) const
+{
+    LeaseInfo info;
+    return readLease(path(key), info) && info.workerId == me_.id &&
+           info.pid == me_.pid;
+}
+
+bool
+LeaseDir::verifyForPublish(const std::string &key) const
+{
+    if (owned(key))
+        return true;
+    lost_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+bool
+LeaseDir::renew(const std::string &key)
+{
+    LeaseInfo info;
+    const std::string lease = path(key);
+    if (!readLease(lease, info) || info.workerId != me_.id ||
+        info.pid != me_.pid) {
+        // Reclaimed under us (or torn): ownership is gone. The caller
+        // must drop the cell's result rather than double-publish.
+        lost_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    // Unique temp name per worker: a renewal racing another process's
+    // re-claim of the same cell never collides on the temp file.
+    const std::string tmp = lease + ".renew-" + me_.id;
+    if (!writeWhole(tmp, leaseJson(key, me_, info.seq + 1),
+                    /*exclusive=*/false) ||
+        ::rename(tmp.c_str(), lease.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        warn("lease renewal for '%s' failed (%s); lease will expire",
+             key.c_str(), std::strerror(errno));
+        return true; // still owned; the next beat may succeed
+    }
+    renewals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+LeaseDir::release(const std::string &key)
+{
+    if (!owned(key))
+        return; // reclaimed while we ran; nothing of ours to remove
+    ::unlink(path(key).c_str());
+    released_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LeaseInfo>
+LeaseDir::scan(std::size_t *torn_out) const
+{
+    std::vector<LeaseInfo> out;
+    std::size_t torn = 0;
+    DIR *d = ::opendir(dir_.c_str());
+    if (!d) {
+        if (torn_out)
+            *torn_out = 0;
+        return out;
+    }
+    while (const struct dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        // Active leases only: tombstones and in-flight renewal temps
+        // have suffixes after ".lease".
+        if (name.size() < 6 ||
+            name.compare(name.size() - 6, 6, ".lease") != 0)
+            continue;
+        LeaseInfo info;
+        if (!readLease(dir_ + "/" + name, info))
+            ++torn;
+        out.push_back(std::move(info));
+    }
+    ::closedir(d);
+    if (torn_out)
+        *torn_out = torn;
+    return out;
+}
+
+bool
+LeaseDir::stale(const LeaseInfo &info) const
+{
+    if (info.workerId == me_.id && info.pid == me_.pid)
+        return false; // never reclaim a lease this process holds
+    return info.ageMs > ttlMs_;
+}
+
+bool
+LeaseDir::reclaim(const LeaseInfo &info)
+{
+    // rename(2) is the exactly-once arbiter: of N concurrent
+    // reclaimers each renaming to its own tombstone, one wins and the
+    // rest get ENOENT. The tombstone stays behind as a crash-proof
+    // record of the reclamation.
+    const std::string tomb = csprintf(
+        "%s.tomb-%s-%llu", info.file.c_str(), me_.id.c_str(),
+        static_cast<unsigned long long>(
+            tombSeq_.fetch_add(1, std::memory_order_relaxed)));
+    if (::rename(info.file.c_str(), tomb.c_str()) != 0)
+        return false;
+    reclamations_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::size_t
+LeaseDir::tombstoneCount() const
+{
+    std::size_t count = 0;
+    DIR *d = ::opendir(dir_.c_str());
+    if (!d)
+        return 0;
+    while (const struct dirent *ent = ::readdir(d))
+        if (std::strstr(ent->d_name, ".lease.tomb-"))
+            ++count;
+    ::closedir(d);
+    return count;
+}
+
+std::size_t
+LeaseDir::orphanCount() const
+{
+    std::size_t count = 0;
+    for (const LeaseInfo &info : scan())
+        if (!info.torn && info.hostname == me_.hostname &&
+            !info.ownerAlive)
+            ++count;
+    return count;
+}
+
+LeaseCounters
+LeaseDir::counters() const
+{
+    LeaseCounters c;
+    c.claims = claims_.load(std::memory_order_relaxed);
+    c.renewals = renewals_.load(std::memory_order_relaxed);
+    c.released = released_.load(std::memory_order_relaxed);
+    c.reclamations = reclamations_.load(std::memory_order_relaxed);
+    c.lost = lost_.load(std::memory_order_relaxed);
+    return c;
+}
+
+LeaseCoordinator::LeaseCoordinator(LeaseDir &leases, HeartbeatThread *hb)
+    : leases_(leases), hb_(hb)
+{
+}
+
+CellCoordinator::Claim
+LeaseCoordinator::tryAcquire(const std::string &key)
+{
+    if (!leases_.tryClaim(key))
+        return Claim::Busy;
+    if (hb_)
+        hb_->track(key);
+    return Claim::Acquired;
+}
+
+bool
+LeaseCoordinator::confirmPublish(const std::string &key)
+{
+    // The heartbeat thread may already know the lease is gone (its
+    // failed renewal counted the loss); otherwise the fresh read is
+    // the authoritative pre-publish verification.
+    if (hb_ && hb_->lost(key))
+        return false;
+    return leases_.verifyForPublish(key);
+}
+
+void
+LeaseCoordinator::release(const std::string &key)
+{
+    if (hb_)
+        hb_->untrack(key);
+    leases_.release(key);
+}
+
+} // namespace dcl1::exec

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * File-based cooperative cell leases for multi-process sweeps.
+ *
+ * Any number of `dcl1sweep --worker` processes may share one durable
+ * run directory. Before simulating a cell, a worker must *claim* it:
+ * it creates `<run-dir>/leases/<cell>.lease` with O_CREAT|O_EXCL — an
+ * atomic, kernel-arbitrated test-and-set that exactly one process can
+ * win — and writes a single record carrying its worker id, pid,
+ * hostname and a monotone heartbeat sequence. A dedicated heartbeat
+ * thread (exec/heartbeat.hh) renews held leases by atomically
+ * rewriting the file with seq+1, which also refreshes its mtime.
+ *
+ * Crash recovery is lease *reclamation*: a lease whose mtime is older
+ * than the TTL belongs to a worker that died (or stalled) mid-cell.
+ * Reclamation renames the lease file to a uniquely-named tombstone —
+ * rename(2) succeeds for exactly one of any number of concurrent
+ * reclaimers — after which the cell is claimable again and re-enters
+ * the normal retry path. Tombstones double as a crash-proof
+ * reclamation count for the manifest's coordinator summary.
+ *
+ * The protocol is cooperative, not watertight: a zombie that stalls
+ * for longer than the TTL and then wakes can race its reclaimer in a
+ * microsecond-wide window. Two backstops make that harmless. First, a
+ * worker verifies it still owns its lease *before* publishing a
+ * result; a lease lost to reclamation makes the zombie drop its
+ * result (JobResult::lost) instead of double-publishing. Second, even
+ * if both sides published, every simulation is a pure function of its
+ * configuration, so duplicate WAL records for a cell are byte-
+ * identical and the last-wins manifest load cannot change the CSV.
+ *
+ * Host wall-clock time (lease file mtimes vs. the TTL) is inherent to
+ * this layer and never observable by simulated behavior; the audited
+ * `lint: wallclock-ok` sites are all in lease.cc.
+ */
+
+#ifndef DCL1_EXEC_LEASE_HH
+#define DCL1_EXEC_LEASE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/job.hh"
+
+namespace dcl1::exec
+{
+
+/** Who holds (or held) a lease; embedded in every claim file. */
+struct WorkerIdentity
+{
+    std::string id;       ///< stable worker name ("w0", "recover", ...)
+    long pid = 0;         ///< process id on @ref hostname
+    std::string hostname; ///< claimer's host (pid liveness scope)
+
+    /** Identity of the calling process (pid + hostname filled in). */
+    static WorkerIdentity local(std::string id);
+};
+
+/** One scanned lease file (see LeaseDir::scan). */
+struct LeaseInfo
+{
+    std::string file;     ///< lease file path
+    std::string key;      ///< claimed cell key ("" when torn)
+    std::string workerId; ///< claiming worker's id
+    long pid = 0;
+    std::string hostname;
+    std::uint64_t seq = 0;  ///< heartbeat sequence (1 = never renewed)
+    std::int64_t ageMs = 0; ///< now - mtime: renewal recency
+    bool torn = false;      ///< unparsable content (crash mid-claim)
+    /** Claimer's pid is alive *on this host*; false for remote hosts,
+     *  where only the TTL can decide. */
+    bool ownerAlive = false;
+};
+
+/** Monotone per-process protocol counters (coordinator summary). */
+struct LeaseCounters
+{
+    std::uint64_t claims = 0;       ///< successful tryClaim()s
+    std::uint64_t renewals = 0;     ///< successful renew()s
+    std::uint64_t released = 0;     ///< clean release()s
+    std::uint64_t reclamations = 0; ///< stale leases this worker reclaimed
+    std::uint64_t lost = 0;         ///< leases lost to reclamation
+};
+
+/** See file comment. */
+class LeaseDir
+{
+  public:
+    /**
+     * Bind to `<run_dir>/leases` (created if absent) as @p me. A lease
+     * not renewed for @p ttl_ms is considered abandoned; the TTL must
+     * be a comfortable multiple of the heartbeat interval.
+     */
+    LeaseDir(const std::string &run_dir, WorkerIdentity me,
+             std::int64_t ttl_ms);
+
+    /**
+     * Atomically claim @p key (O_CREAT|O_EXCL). True = this process
+     * now owns the cell; false = another lease exists (or I/O failed,
+     * treated as "busy" — never fatal, the cell is simply deferred).
+     */
+    bool tryClaim(const std::string &key);
+
+    /**
+     * Heartbeat renewal: verify the lease file still names this
+     * worker, then atomically rewrite it with seq+1. False = the
+     * lease is gone or owned by someone else (it was reclaimed);
+     * the caller must treat the cell as lost and not publish.
+     */
+    bool renew(const std::string &key);
+
+    /** Fresh-read ownership check. */
+    bool owned(const std::string &key) const;
+
+    /**
+     * The pre-publish verification: owned(), but a lost lease is also
+     * counted in LeaseCounters::lost (the zombie-drop statistic).
+     */
+    bool verifyForPublish(const std::string &key) const;
+
+    /** Release a held lease (unlink); no-op when not owned anymore. */
+    void release(const std::string &key);
+
+    /**
+     * Enumerate every lease file. Torn/truncated files (a worker
+     * killed mid-claim) parse as LeaseInfo::torn instead of failing
+     * the scan; @p torn_out (optional) counts them.
+     */
+    std::vector<LeaseInfo> scan(std::size_t *torn_out = nullptr) const;
+
+    /**
+     * Is @p info abandoned? True when its mtime age exceeds the TTL
+     * and it is not this process's own live lease. Torn leases use
+     * the same age threshold (claim-writes are tiny; an old torn file
+     * is debris, a fresh one may still be mid-write).
+     */
+    bool stale(const LeaseInfo &info) const;
+
+    /**
+     * Reclaim a stale lease: rename it to a tombstone unique to this
+     * reclaimer. Exactly one of any number of concurrent reclaimers
+     * wins (rename(2) is atomic; the losers get ENOENT). True = this
+     * process won and the cell is claimable again.
+     */
+    bool reclaim(const LeaseInfo &info);
+
+    /** Reclamation tombstones on disk (crash-proof global count). */
+    std::size_t tombstoneCount() const;
+
+    /** Leases whose owner pid is dead on this host (zombie debris). */
+    std::size_t orphanCount() const;
+
+    LeaseCounters counters() const;
+
+    const WorkerIdentity &identity() const { return me_; }
+    std::int64_t ttlMs() const { return ttlMs_; }
+    const std::string &dir() const { return dir_; }
+
+    /** Lease file name for @p key: sanitized prefix + stable hash. */
+    static std::string leaseFileName(const std::string &key);
+
+  private:
+    std::string path(const std::string &key) const;
+    bool readLease(const std::string &file, LeaseInfo &out) const;
+
+    std::string dir_;
+    WorkerIdentity me_;
+    std::int64_t ttlMs_;
+    std::atomic<std::uint64_t> claims_{0};
+    std::atomic<std::uint64_t> renewals_{0};
+    std::atomic<std::uint64_t> released_{0};
+    std::atomic<std::uint64_t> reclamations_{0};
+    mutable std::atomic<std::uint64_t> lost_{0};
+    std::atomic<std::uint64_t> tombSeq_{0}; ///< unique tombstone names
+};
+
+class HeartbeatThread;
+
+/**
+ * CellCoordinator (exec/job.hh) over a LeaseDir: the JobRunner asks
+ * it before executing each keyed job. tryAcquire claims the lease and
+ * registers it with the heartbeat thread; confirmPublish is the
+ * pre-publish ownership verification; release unregisters + unlinks.
+ */
+class LeaseCoordinator : public CellCoordinator
+{
+  public:
+    /** @p hb may be null (no renewal — unit tests, very short cells). */
+    LeaseCoordinator(LeaseDir &leases, HeartbeatThread *hb);
+
+    Claim tryAcquire(const std::string &key) override;
+    bool confirmPublish(const std::string &key) override;
+    void release(const std::string &key) override;
+
+  private:
+    LeaseDir &leases_;
+    HeartbeatThread *hb_;
+};
+
+} // namespace dcl1::exec
+
+#endif // DCL1_EXEC_LEASE_HH

@@ -1,10 +1,12 @@
 #include "exec/run_manifest.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "check/check.hh"
 #include "common/log.hh"
+#include "exec/exit_codes.hh"
 #include "exec/result_sink.hh"
 
 namespace dcl1::exec
@@ -256,18 +258,29 @@ RunManifest::openOrCreate(const std::string &dir,
         return m;
     }
 
+    // Incompatibility gets its own pinned exit code (6, distinct from
+    // the generic config-error 1): a fleet launcher seeing it knows
+    // *every* worker it would spawn against this directory is doomed,
+    // where exit 1 just means one worker got a flag wrong.
     std::string stored_config, stored_signature;
     if (!jsonFieldString(existing, "config", stored_config) ||
-        !jsonFieldString(existing, "signature", stored_signature))
-        fatal("run directory '%s': unreadable manifest.json — not a "
-              "dcl1 run directory? Use a fresh directory.",
-              dir.c_str());
-    if (stored_signature != buildSignature())
-        fatal("run directory '%s' was produced by an incompatible "
-              "build (%s vs %s); completed records cannot be trusted. "
-              "Use a fresh directory.",
-              dir.c_str(), stored_signature.c_str(),
-              buildSignature().c_str());
+        !jsonFieldString(existing, "signature", stored_signature)) {
+        std::fprintf(stderr,
+                     "run directory '%s': unreadable manifest.json — "
+                     "not a dcl1 run directory? Use a fresh "
+                     "directory.\n",
+                     dir.c_str());
+        std::exit(kExitIncompatibleRunDir);
+    }
+    if (stored_signature != buildSignature()) {
+        std::fprintf(stderr,
+                     "run directory '%s' was produced by an "
+                     "incompatible build (%s vs %s); completed records "
+                     "cannot be trusted. Use a fresh directory.\n",
+                     dir.c_str(), stored_signature.c_str(),
+                     buildSignature().c_str());
+        std::exit(kExitIncompatibleRunDir);
+    }
     if (stored_config != config)
         fatal("run directory '%s' belongs to a different batch:\n"
               "  stored:  %s\n  current: %s\n"
@@ -278,6 +291,12 @@ RunManifest::openOrCreate(const std::string &dir,
     {
         MutexLock lock(m->mutex_);
         m->loadRecords();
+        // Keep a fleet coordinator summary a previous worker wrote:
+        // later rewrites (a merge run, another worker's finalize)
+        // must not silently drop the fleet's protocol statistics.
+        const std::string coord = jsonFieldRaw(existing, "coordinator");
+        if (!coord.empty())
+            m->coordinatorJson_ = coord;
         m->writeManifestFile("running");
     }
     return m;
@@ -324,6 +343,22 @@ RunManifest::append(const JobRecord &record)
     records_[record.key] = record;
 }
 
+std::size_t
+RunManifest::refresh()
+{
+    MutexLock lock(mutex_);
+    const std::size_t before = records_.size();
+    loadRecords();
+    return records_.size() - before;
+}
+
+void
+RunManifest::setCoordinatorSummary(std::string json_object)
+{
+    MutexLock lock(mutex_);
+    coordinatorJson_ = std::move(json_object);
+}
+
 void
 RunManifest::finalize(const std::string &status)
 {
@@ -335,12 +370,16 @@ void
 RunManifest::writeManifestFile(const std::string &status)
 {
     AtomicFileWriter out(dir_ + "/manifest.json");
+    const std::string coordinator =
+        coordinatorJson_.empty()
+            ? std::string()
+            : csprintf(",\"coordinator\":%s", coordinatorJson_.c_str());
     out.stream() << csprintf(
         "{\"signature\":\"%s\",\"config\":\"%s\",\"status\":\"%s\","
-        "\"completed\":%zu}\n",
+        "\"completed\":%zu%s}\n",
         jsonEscape(buildSignature()).c_str(),
         jsonEscape(config_).c_str(), jsonEscape(status).c_str(),
-        records_.size());
+        records_.size(), coordinator.c_str());
     out.commit();
 }
 

@@ -124,6 +124,34 @@ class RunManifest
     /** Record a finished job (WAL append; crash-safe per record). */
     void append(const JobRecord &record) DCL1_EXCLUDES(mutex_);
 
+    /**
+     * Re-read the WAL, absorbing records other worker processes
+     * appended since open (O_APPEND writes land whole, so concurrent
+     * appenders never tear a line). Fleet workers call this between
+     * claim rounds; a key this process already holds is only ever
+     * re-read with identical content (results are deterministic), so
+     * find() pointers stay valid. Returns the records newly absorbed.
+     */
+    std::size_t refresh() DCL1_EXCLUDES(mutex_);
+
+    /**
+     * Attach the fleet coordinator summary — a complete JSON object
+     * (e.g. {"claims":12,...}) — embedded as the "coordinator" field
+     * of every later manifest rewrite. Empty = no field (the
+     * single-process layout is unchanged).
+     */
+    void setCoordinatorSummary(std::string json_object)
+        DCL1_EXCLUDES(mutex_);
+
+    /** Current coordinator summary (set here, or loaded from the
+     *  manifest a previous worker finalized); "" = none. */
+    std::string
+    coordinatorSummary() const DCL1_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return coordinatorJson_;
+    }
+
     /** Rewrite the manifest with a final status ("complete",
      *  "interrupted"); atomic, so a crash keeps the old manifest. */
     void finalize(const std::string &status) DCL1_EXCLUDES(mutex_);
@@ -151,6 +179,7 @@ class RunManifest
     mutable Mutex mutex_;
     AppendLog wal_; ///< internally locked; ordered after mutex_
     std::map<std::string, JobRecord> records_ DCL1_GUARDED_BY(mutex_);
+    std::string coordinatorJson_ DCL1_GUARDED_BY(mutex_);
 };
 
 } // namespace dcl1::exec

@@ -20,6 +20,7 @@
 #include "core/design.hh"
 #include "exec/atomic_file.hh"
 #include "exec/crash_record.hh"
+#include "exec/exit_codes.hh"
 #include "exec/interrupt.hh"
 #include "exec/job_runner.hh"
 #include "exec/job_set.hh"
@@ -54,7 +55,9 @@ freshDir(const std::string &name)
                             name;
     ensureDirectory(dir);
     std::remove((dir + "/manifest.json").c_str());
-    std::remove((dir + "/manifest.json.tmp").c_str());
+    std::remove(csprintf("%s/manifest.json.tmp.%d", dir.c_str(),
+                         int(getpid()))
+                    .c_str());
     std::remove((dir + "/jobs.jsonl").c_str());
     return dir;
 }
@@ -178,7 +181,8 @@ TEST(Durable, AtomicWriterPublishesAllOrNothing)
         w.commit();
     }
     EXPECT_EQ(readFile(path), "design,ipc\nA,1.5\n");
-    EXPECT_FALSE(fileExists(path + ".tmp")); // no debris
+    EXPECT_FALSE(fileExists(
+        csprintf("%s.tmp.%d", path.c_str(), int(getpid())))); // no debris
 
     {
         // Abandoned writer (simulates dying mid-batch): the old file
@@ -297,13 +301,30 @@ TEST(DurableDeathTest, ManifestRefusesForeignRunDirectory)
     EXPECT_EXIT(RunManifest::openOrCreate(dir, "sweep designs=B apps=x"),
                 ::testing::ExitedWithCode(1), "different batch");
 
+    // Not a dcl1 manifest at all: the pinned incompatible-run-dir
+    // code (6), so fleet launchers can tell "stop the whole fleet"
+    // apart from one worker's bad flag (1).
     const std::string bogus = freshDir("bogus");
     {
         std::ofstream out(bogus + "/manifest.json");
         out << "not json at all\n";
     }
     EXPECT_EXIT(RunManifest::openOrCreate(bogus, "anything"),
-                ::testing::ExitedWithCode(1), "unreadable manifest");
+                ::testing::ExitedWithCode(kExitIncompatibleRunDir),
+                "unreadable manifest");
+
+    // A manifest from an incompatible build signature (WAL schema /
+    // DCL1_CHECK mode) exits the same way.
+    const std::string old = freshDir("oldbuild");
+    {
+        std::ofstream out(old + "/manifest.json");
+        out << "{\"signature\":\"wal-schema=0 check=0\","
+               "\"config\":\"anything\",\"status\":\"complete\","
+               "\"completed\":0}\n";
+    }
+    EXPECT_EXIT(RunManifest::openOrCreate(old, "anything"),
+                ::testing::ExitedWithCode(kExitIncompatibleRunDir),
+                "incompatible build");
 }
 
 TEST(Durable, CrashRecordRoundTripsReplayConfig)
@@ -369,8 +390,14 @@ TEST(Durable, InterruptFlagIsCooperative)
     EXPECT_FALSE(interruptRequested());
 
     // A real SIGINT must only raise the flag, never kill the process.
-    installSigintHandler();
+    installSignalHandlers();
     std::raise(SIGINT);
+    EXPECT_TRUE(interruptRequested());
+    clearInterrupt();
+
+    // SIGTERM — what fleet launchers send — drains the same way
+    // instead of killing the worker mid-record.
+    std::raise(SIGTERM);
     EXPECT_TRUE(interruptRequested());
     clearInterrupt();
 }

@@ -396,6 +396,7 @@ TEST(Exec, ExitCodeContractIsPinned)
     EXPECT_EQ(kExitFailedCells, 3);
     EXPECT_EQ(kExitResumable, 4);
     EXPECT_EQ(kExitQuarantined, 5);
+    EXPECT_EQ(kExitIncompatibleRunDir, 6);
 }
 
 TEST(Exec, FailureKindNamesAreStable)

@@ -1,0 +1,10 @@
+// R11 fixture: the simulated machine must never see fleet machinery —
+// leases and heartbeats are host-side coordination, two bands up.
+
+#include "exec/lease.hh" // expect: R11
+#include "common/log.hh"
+
+void
+tickSystem()
+{
+}

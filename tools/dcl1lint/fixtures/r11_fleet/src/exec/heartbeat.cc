@@ -1,0 +1,10 @@
+// R11 fixture: the lease/heartbeat layer must not know about serving
+// policy — reclamation decisions cannot depend on job scheduling.
+
+#include "serve/scheduler.hh" // expect: R11
+#include "exec/lease.hh"
+
+void
+renewLoop()
+{
+}

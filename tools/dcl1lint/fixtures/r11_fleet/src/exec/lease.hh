@@ -1,0 +1,9 @@
+// R11 fixture: fleet-coordination primitives live in the exec band
+// and may include downward freely.
+
+#ifndef FIXTURE_EXEC_LEASE_HH
+#define FIXTURE_EXEC_LEASE_HH
+
+#include "common/log.hh"
+
+#endif

@@ -1,0 +1,8 @@
+// R11 fixture: a serving-band header the exec band must not reach.
+
+#ifndef FIXTURE_SERVE_SCHEDULER_HH
+#define FIXTURE_SERVE_SCHEDULER_HH
+
+#include "exec/lease.hh"
+
+#endif

@@ -1,0 +1,9 @@
+// R11 fixture: entry points sit above exec and may use leases freely.
+
+#include "exec/lease.hh"
+
+int
+main()
+{
+    return 0;
+}
