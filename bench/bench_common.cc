@@ -2,16 +2,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <utility>
 
+#include "check/check.hh"
 #include "common/env.hh"
 #include "common/log.hh"
 #include "exec/atomic_file.hh"
 #include "exec/job_runner.hh"
 #include "exec/job_set.hh"
+#include "exec/result_sink.hh"
 #include "exec/run_manifest.hh"
 
 namespace dcl1::bench
@@ -249,6 +252,47 @@ Harness::saveCache() const
             << rm.dramWrites << '\n';
     }
     writer.commit();
+}
+
+std::string
+benchOutputPath(const std::string &filename)
+{
+    const std::string dir = envStrOr("DCL1_BENCH_DIR", "");
+    if (dir.empty())
+        return filename;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("DCL1_BENCH_DIR '%s': cannot create directory (%s)",
+              dir.c_str(), ec.message().c_str());
+    return dir + "/" + filename;
+}
+
+std::string
+machineFingerprintJson()
+{
+    std::string model = "unknown";
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        if (line.rfind("model name", 0) == 0) {
+            const std::size_t colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::size_t start = colon + 1;
+                while (start < line.size() && line[start] == ' ')
+                    ++start;
+                model = line.substr(start);
+            }
+            break;
+        }
+    }
+    return csprintf(
+        "{\"cpu\":\"%s\",\"cores\":%u,\"compiler\":\"%s\","
+        "\"checks\":%s}",
+        exec::jsonEscape(model).c_str(),
+        exec::ExecOptions::hardwareConcurrency(),
+        exec::jsonEscape(__VERSION__).c_str(),
+        DCL1_CHECK_ENABLED ? "true" : "false");
 }
 
 void

@@ -102,6 +102,25 @@ class Harness
  */
 std::vector<exec::JobResult> runJobSet(const exec::JobSet &set);
 
+/**
+ * Destination for a `BENCH_*.json` result file: @p filename placed
+ * under DCL1_BENCH_DIR (created on demand) when set, else the working
+ * directory. Every bench that emits a BENCH artifact must build its
+ * path here and publish through exec::AtomicFileWriter — never a raw
+ * path into the cwd — so CI can collect all artifacts from one
+ * directory.
+ */
+std::string benchOutputPath(const std::string &filename);
+
+/**
+ * Machine fingerprint as one JSON object: CPU model (from
+ * /proc/cpuinfo), hardware thread count, compiler version, and
+ * whether DCL1_CHECK invariant checking is compiled in. Embedded in
+ * perf artifacts so tools/perfdiff can warn when two BENCH_perf.json
+ * files came from different machines or build flavors.
+ */
+std::string machineFingerprintJson();
+
 /// @name Table formatting helpers
 /// @{
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.hh"
 #include "common/env.hh"
 #include "common/log.hh"
 #include "core/experiment.hh"
@@ -76,7 +77,8 @@ main()
     std::printf("%7s %8s %8s %12s %12s %10s\n", "lambda", "done",
                 "cens", "jobs/sec", "Mcycles/sec", "p99");
 
-    exec::AtomicFileWriter out("BENCH_serving.json");
+    exec::AtomicFileWriter out(
+        bench::benchOutputPath("BENCH_serving.json"));
     out.stream() << "{\n  \"bench\": \"serving\",\n  \"design\": \""
                  << design.name << "\",\n  \"jobs_per_point\": "
                  << numJobs << ",\n  \"horizon\": " << horizon
@@ -109,6 +111,6 @@ main()
     }
     out.stream() << "  ]\n}\n";
     out.commit();
-    inform("wrote BENCH_serving.json");
+    inform("wrote %s", out.path().c_str());
     return 0;
 }

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * perf_core — host-performance benchmark of the simulator itself.
+ *
+ * Every other bench in this directory measures the *simulated*
+ * machine; this one measures the host: how many simulated cycles per
+ * wall-clock second does each pinned design sustain, and where do the
+ * nanoseconds go? It runs a fixed grid — Baseline (private L1s over
+ * one crossbar), CDXBar (combined distributed crossbar), Sh40 (flat
+ * DC-L1) and Sh40+C10+Boost (clustered DC-L1 with frequency boost) —
+ * so all three Topology kinds and both DC-L1 organizations appear in
+ * the trajectory, and emits a schema-versioned BENCH_perf.json that
+ * tools/perfdiff can compare across commits.
+ *
+ * Methodology: per design, 1 discarded warmup repeat + K measured
+ * repeats (median-of-K by wall time reported), host phase shares from
+ * the src/prof/ profiler, all repeats serial on one thread to keep
+ * the numbers quiet. The fingerprint (CPU, cores, compiler, DCL1_CHECK)
+ * is embedded so cross-machine comparisons warn instead of lying.
+ *
+ * Environment:
+ *   DCL1_PERF_CYCLES  measured cycles per repeat  (default 30000)
+ *   DCL1_PERF_WARMUP  warmup cycles per repeat    (default 5000)
+ *   DCL1_PERF_REPEATS measured repeats K          (default 3)
+ *   DCL1_PERF_APP     catalog app                 (default T-AlexNet)
+ *   DCL1_BENCH_DIR    output directory for BENCH_perf.json
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "common/env.hh"
+#include "common/log.hh"
+#include "core/gpu_system.hh"
+#include "exec/atomic_file.hh"
+#include "prof/prof.hh"
+#include "stats/stats.hh"
+#include "workload/app_catalog.hh"
+
+using namespace dcl1;
+
+namespace
+{
+
+using HostClock = std::chrono::steady_clock;
+
+struct Repeat
+{
+    std::uint64_t wallNs = 0;   ///< build + run, externally bracketed
+    Cycle cycles = 0;           ///< measured simulated cycles
+    prof::Report report;
+};
+
+Repeat
+runOnce(const core::SystemConfig &sys, const core::DesignConfig &design,
+        const workload::WorkloadParams &app, Cycle cycles, Cycle warmup)
+{
+    Repeat rep;
+    prof::Profiler profiler;
+    const HostClock::time_point start = HostClock::now();
+    {
+        prof::TlsGuard guard(&profiler);
+        core::GpuSystem gpu(sys, design, app);
+        gpu.run(cycles, warmup);
+        rep.cycles = gpu.metrics().cycles;
+    }
+    rep.wallNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            HostClock::now() - start)
+            .count());
+    rep.report = profiler.report();
+    rep.report.wallNs = rep.wallNs;
+    return rep;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const Cycle cycles = static_cast<Cycle>(
+        envIntOr("DCL1_PERF_CYCLES", 30000, 1, 1'000'000'000));
+    const Cycle warmup = static_cast<Cycle>(
+        envIntOr("DCL1_PERF_WARMUP", 5000, 0, 1'000'000'000));
+    const std::size_t repeats = static_cast<std::size_t>(
+        envIntOr("DCL1_PERF_REPEATS", 3, 1, 99));
+    const std::string app_name = envStrOr("DCL1_PERF_APP", "T-AlexNet");
+    const workload::AppInfo &app = workload::appByName(app_name);
+
+    // Pinned design set: all three topology families, flat + clustered
+    // DC-L1. Growing this list is fine (perfdiff matches by name);
+    // renaming or shrinking it breaks the BENCH trajectory.
+    const std::vector<std::string> design_names = {
+        "Baseline", "CDXBar", "Sh40", "Sh40+C10+Boost"};
+
+    core::SystemConfig sys;
+
+    std::printf("==== perf_core ====\n");
+    std::printf("host-performance trajectory: %s, %llu cycles "
+                "(+%llu warmup), median of %zu (1 discard)\n",
+                app_name.c_str(),
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(warmup), repeats);
+    std::printf("%-16s %14s %12s %10s\n", "design", "sim_cyc/sec",
+                "ns/cycle", "wall ms");
+
+    std::string designs_json;
+    for (const std::string &name : design_names) {
+        const core::DesignConfig design = core::designByName(name);
+
+        // Repeat 0 warms the host (page cache, allocator, branch
+        // predictors) and is discarded.
+        (void)runOnce(sys, design, app.params, cycles, warmup);
+        std::vector<Repeat> reps;
+        for (std::size_t k = 0; k < repeats; ++k)
+            reps.push_back(
+                runOnce(sys, design, app.params, cycles, warmup));
+        std::sort(reps.begin(), reps.end(),
+                  [](const Repeat &a, const Repeat &b) {
+                      return a.wallNs < b.wallNs;
+                  });
+        const Repeat &med = reps[reps.size() / 2];
+
+        // Rate over the run loop only (build excluded): that is the
+        // number the speed arc moves.
+        std::uint64_t run_ns = 0;
+        for (const prof::ReportNode &n : med.report.nodes)
+            if (n.depth == 0 && n.phase == prof::Phase::Run)
+                run_ns += n.totalNs;
+        if (run_ns == 0)
+            run_ns = med.wallNs; // defensive; Run is always hooked
+        const double sim_cps = 1e9 * static_cast<double>(med.cycles) /
+                               static_cast<double>(run_ns);
+        const double ns_per_cycle =
+            static_cast<double>(run_ns) /
+            static_cast<double>(med.cycles ? med.cycles : 1);
+
+        std::printf("%-16s %14.0f %12.1f %10.1f\n", name.c_str(),
+                    sim_cps, ns_per_cycle,
+                    static_cast<double>(med.wallNs) / 1e6);
+
+        // Phase self-time shares of the attributed time (flat: summed
+        // over the tree per phase).
+        std::uint64_t self_ns[prof::kPhaseCount] = {};
+        std::uint64_t covered = 0;
+        for (const prof::ReportNode &n : med.report.nodes) {
+            self_ns[static_cast<std::size_t>(n.phase)] += n.selfNs;
+            covered += n.selfNs;
+        }
+        std::string shares;
+        for (std::size_t i = 0; i < prof::kPhaseCount; ++i) {
+            if (!shares.empty())
+                shares += ',';
+            const double share =
+                covered ? static_cast<double>(self_ns[i]) /
+                              static_cast<double>(covered)
+                        : 0.0;
+            shares += csprintf(
+                "\"%s\":%s",
+                prof::phaseName(static_cast<prof::Phase>(i)),
+                stats::formatDouble(share).c_str());
+        }
+        std::string counters;
+        for (std::size_t i = 0; i < prof::kCounterCount; ++i) {
+            if (!counters.empty())
+                counters += ',';
+            counters += csprintf(
+                "\"%s\":%llu",
+                prof::counterName(static_cast<prof::Counter>(i)),
+                static_cast<unsigned long long>(
+                    med.report.counters[i]));
+        }
+
+        if (!designs_json.empty())
+            designs_json += ",\n";
+        designs_json += csprintf(
+            "    {\"design\": \"%s\", \"sim_cycles_per_sec\": %s, "
+            "\"host_ns_per_cycle\": %s, \"wall_ms_median\": %s, "
+            "\"run_ns\": %llu, \"coverage\": %s,\n"
+            "     \"phase_self_share\": {%s},\n"
+            "     \"counters\": {%s}}",
+            name.c_str(), stats::formatDouble(sim_cps).c_str(),
+            stats::formatDouble(ns_per_cycle).c_str(),
+            stats::formatDouble(static_cast<double>(med.wallNs) / 1e6)
+                .c_str(),
+            static_cast<unsigned long long>(run_ns),
+            stats::formatDouble(med.report.coverage()).c_str(),
+            shares.c_str(), counters.c_str());
+    }
+
+    exec::AtomicFileWriter out(bench::benchOutputPath("BENCH_perf.json"));
+    out.stream() << "{\n  \"bench\": \"perf_core\",\n"
+                 << "  \"schema\": \"dcl1-perf-v1\",\n"
+                 << "  \"fingerprint\": " << bench::machineFingerprintJson()
+                 << ",\n  \"app\": \"" << app_name << "\",\n"
+                 << "  \"cycles\": " << cycles << ",\n"
+                 << "  \"warmup\": " << warmup << ",\n"
+                 << "  \"repeats\": " << repeats << ",\n"
+                 << "  \"designs\": [\n"
+                 << designs_json << "\n  ]\n}\n";
+    out.commit();
+    inform("wrote %s", out.path().c_str());
+    return 0;
+}

@@ -8,6 +8,7 @@
 #include "common/env.hh"
 #include "common/log.hh"
 #include "noc/packet.hh"
+#include "prof/prof.hh"
 
 namespace dcl1::core
 {
@@ -40,6 +41,7 @@ GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design,
     : sys_(sys), design_(design),
       addrMap_(sys.numL2Slices, sys.numChannels, sys.chunkBytes)
 {
+    DCL1_PROF_SCOPE(Build);
     sys_.validate();
     design_.validate(sys_);
     buildCommon(&app, std::move(source));
@@ -60,6 +62,7 @@ GpuSystem::GpuSystem(const SystemConfig &sys, const DesignConfig &design)
     : sys_(sys), design_(design),
       addrMap_(sys.numL2Slices, sys.numChannels, sys.chunkBytes)
 {
+    DCL1_PROF_SCOPE(Build);
     sys_.validate();
     design_.validate(sys_);
     buildCommon(nullptr, nullptr);
@@ -304,23 +307,47 @@ GpuSystem::buildDcl1()
 void
 GpuSystem::tickMemory()
 {
-    for (std::uint32_t c = 0; c < sys_.numChannels; ++c) {
-        channels_[c]->tick(cycle_);
-        while (auto done = channels_[c]->takeCompleted(cycle_)) {
-            const SliceId s = (*done)->slice;
-            if (s >= slices_.size())
-                panic("DRAM reply with bad slice %u", s);
-            slices_[s]->onDramReply(std::move(*done), cycle_);
+    {
+        DCL1_PROF_SCOPE(Dram);
+        for (std::uint32_t c = 0; c < sys_.numChannels; ++c) {
+            channels_[c]->tick(cycle_);
+            while (auto done = channels_[c]->takeCompleted(cycle_)) {
+                const SliceId s = (*done)->slice;
+                if (s >= slices_.size())
+                    panic("DRAM reply with bad slice %u", s);
+                slices_[s]->onDramReply(std::move(*done), cycle_);
+            }
         }
     }
-    for (auto &slice : slices_)
-        slice->tick(cycle_);
+    {
+        DCL1_PROF_SCOPE(L2);
+        for (auto &slice : slices_)
+            slice->tick(cycle_);
+    }
+}
+
+void
+GpuSystem::countQuiescent()
+{
+    std::uint64_t idle_cores = 0;
+    for (const auto &core : cores_)
+        if (!core->busy())
+            ++idle_cores;
+    DCL1_PROF_COUNT(QuiescentCore, idle_cores);
+    std::uint64_t idle_nodes = 0;
+    for (const auto &node : nodes_)
+        if (!node->busy())
+            ++idle_nodes;
+    DCL1_PROF_COUNT(QuiescentNode, idle_nodes);
 }
 
 void
 GpuSystem::tickOnce()
 {
     ++cycle_;
+    DCL1_PROF_COUNT(TickCycles, 1);
+    if (prof::active())
+        countQuiescent();
     tickMemory();
     switch (design_.topology) {
       case Topology::PrivateBaseline:
@@ -338,41 +365,47 @@ GpuSystem::tickOnce()
 void
 GpuSystem::tickBaseline()
 {
-    // L2 replies -> reply crossbar.
-    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
-        while (mainReply_->canInject(s)) {
-            auto reply = slices_[s]->takeReply();
-            if (!reply)
-                break;
-            stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply, cycle_);
-            noc::Packet pkt;
-            pkt.src = s;
-            pkt.dst = (*reply)->core;
-            pkt.flits = noc::flitsFor(**reply, sys_.flitBytes);
-            pkt.req = std::move(*reply);
-            mainReply_->inject(std::move(pkt));
+    {
+        DCL1_PROF_SCOPE(Noc);
+        // L2 replies -> reply crossbar.
+        for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+            while (mainReply_->canInject(s)) {
+                auto reply = slices_[s]->takeReply();
+                if (!reply)
+                    break;
+                stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply,
+                                cycle_);
+                noc::Packet pkt;
+                pkt.src = s;
+                pkt.dst = (*reply)->core;
+                pkt.flits = noc::flitsFor(**reply, sys_.flitBytes);
+                pkt.req = std::move(*reply);
+                mainReply_->inject(std::move(pkt));
+            }
         }
-    }
 
-    mainReq_->tick();
-    mainReply_->tick();
+        mainReq_->tick();
+        mainReply_->tick();
 
-    // Request ejection -> L2 slices (with backpressure).
-    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
-        while (mainReq_->hasEjectable(s) && slices_[s]->canAcceptRequest()) {
-            auto pkt = mainReq_->eject(s);
-            slices_[s]->pushRequest(std::move(pkt->req), cycle_);
+        // Request ejection -> L2 slices (with backpressure).
+        for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+            while (mainReq_->hasEjectable(s) &&
+                   slices_[s]->canAcceptRequest()) {
+                auto pkt = mainReq_->eject(s);
+                slices_[s]->pushRequest(std::move(pkt->req), cycle_);
+            }
         }
-    }
-    // Reply ejection -> cores.
-    for (CoreId c = 0; c < sys_.numCores; ++c) {
-        while (mainReply_->hasEjectable(c)) {
-            auto pkt = mainReply_->eject(c);
-            cores_[c]->deliverReply(std::move(pkt->req), cycle_);
+        // Reply ejection -> cores.
+        for (CoreId c = 0; c < sys_.numCores; ++c) {
+            while (mainReply_->hasEjectable(c)) {
+                auto pkt = mainReply_->eject(c);
+                cores_[c]->deliverReply(std::move(pkt->req), cycle_);
+            }
         }
     }
 
     // Core outbound (L1 misses, write-throughs, atomics, bypass).
+    DCL1_PROF_SCOPE(Core);
     for (CoreId c = 0; c < sys_.numCores; ++c) {
         while (cores_[c]->hasOutbound() && mainReq_->canInject(c)) {
             auto req = cores_[c]->takeOutbound();
@@ -392,35 +425,40 @@ GpuSystem::tickBaseline()
 void
 GpuSystem::tickCdx()
 {
-    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
-        while (cdxReply_->canInject(s)) {
-            auto reply = slices_[s]->takeReply();
-            if (!reply)
-                break;
-            const CoreId dst = (*reply)->core;
-            const std::uint32_t flits =
-                noc::flitsFor(**reply, sys_.flitBytes);
-            stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply, cycle_);
-            cdxReply_->inject(s, dst, std::move(*reply), flits);
+    {
+        DCL1_PROF_SCOPE(Noc);
+        for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+            while (cdxReply_->canInject(s)) {
+                auto reply = slices_[s]->takeReply();
+                if (!reply)
+                    break;
+                const CoreId dst = (*reply)->core;
+                const std::uint32_t flits =
+                    noc::flitsFor(**reply, sys_.flitBytes);
+                stats::tlmEnter((*reply)->tlm, stats::Seg::NocReply,
+                                cycle_);
+                cdxReply_->inject(s, dst, std::move(*reply), flits);
+            }
+        }
+
+        cdxReq_->tick();
+        cdxReply_->tick();
+
+        for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
+            while (slices_[s]->canAcceptRequest()) {
+                auto req = cdxReq_->eject(s);
+                if (!req)
+                    break;
+                slices_[s]->pushRequest(std::move(*req), cycle_);
+            }
+        }
+        for (CoreId c = 0; c < sys_.numCores; ++c) {
+            while (auto reply = cdxReply_->eject(c))
+                cores_[c]->deliverReply(std::move(*reply), cycle_);
         }
     }
 
-    cdxReq_->tick();
-    cdxReply_->tick();
-
-    for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
-        while (slices_[s]->canAcceptRequest()) {
-            auto req = cdxReq_->eject(s);
-            if (!req)
-                break;
-            slices_[s]->pushRequest(std::move(*req), cycle_);
-        }
-    }
-    for (CoreId c = 0; c < sys_.numCores; ++c) {
-        while (auto reply = cdxReply_->eject(c))
-            cores_[c]->deliverReply(std::move(*reply), cycle_);
-    }
-
+    DCL1_PROF_SCOPE(Core);
     for (CoreId c = 0; c < sys_.numCores; ++c) {
         while (cores_[c]->hasOutbound() && cdxReq_->canInject(c)) {
             auto req = cores_[c]->takeOutbound();
@@ -441,6 +479,8 @@ GpuSystem::tickDcl1()
     const std::uint32_t m = org_->nodesPerCluster();
     const std::uint32_t n_per = org_->coresPerCluster();
     const bool partitioned = org_->partitionedNoc2();
+
+    prof::ProfPhase noc_scope(prof::Phase::Noc);
 
     // L2 replies -> NoC#2 reply crossbars.
     for (SliceId s = 0; s < sys_.numL2Slices; ++s) {
@@ -518,7 +558,10 @@ GpuSystem::tickDcl1()
         }
     }
 
+    noc_scope.stop();
+
     // DC-L1 nodes tick, then inject into both NoCs.
+    prof::ProfPhase node_scope(prof::Phase::Node);
     for (NodeId n = 0; n < design_.numNodes; ++n) {
         DcL1Node &node = *nodes_[n];
         node.tick(cycle_);
@@ -562,7 +605,10 @@ GpuSystem::tickDcl1()
         }
     }
 
+    node_scope.stop();
+
     // Cores inject into NoC#1 request side, then tick.
+    DCL1_PROF_SCOPE(Core);
     for (CoreId c = 0; c < sys_.numCores; ++c) {
         const std::uint32_t z = org_->clusterOfCore(c);
         const std::uint32_t local = c % n_per;
@@ -617,12 +663,18 @@ GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
                const CycleHeartbeat &heartbeat, const CycleHook &on_cycle)
 {
     RunLoopGuard guard;
+    DCL1_PROF_SCOPE(Run);
     for (Cycle i = 0; i < warmup_cycles; ++i) {
         tickOnce();
-        if (timeline_)
+        if (timeline_) {
+            DCL1_PROF_SCOPE(Telemetry);
             timeline_->maybeSample(cycle_);
+        }
         if ((i & 4095) == 4095) {
-            DCL1_CHECK_ONLY(checkInvariants("warmup"));
+            DCL1_CHECK_ONLY({
+                DCL1_PROF_SCOPE(Check);
+                checkInvariants("warmup");
+            });
             if (heartbeat)
                 heartbeat(cycle_);
         }
@@ -630,12 +682,17 @@ GpuSystem::run(Cycle measure_cycles, Cycle warmup_cycles,
     resetStats();
     for (Cycle i = 0; i < measure_cycles; ++i) {
         tickOnce();
-        if (timeline_)
+        if (timeline_) {
+            DCL1_PROF_SCOPE(Telemetry);
             timeline_->maybeSample(cycle_);
+        }
         if (on_cycle && !on_cycle(cycle_))
             break;
         if ((i & 4095) == 4095) {
-            DCL1_CHECK_ONLY(checkInvariants("measure"));
+            DCL1_CHECK_ONLY({
+                DCL1_PROF_SCOPE(Check);
+                checkInvariants("measure");
+            });
             if (heartbeat)
                 heartbeat(cycle_);
         }
@@ -732,6 +789,7 @@ bool
 GpuSystem::drain(Cycle max_cycles)
 {
     draining_ = true;
+    DCL1_PROF_SCOPE(Drain);
     for (auto &core : cores_)
         core->setIssueEnabled(false);
     Cycle waited = 0;

@@ -255,6 +255,13 @@ class GpuSystem
     void tickCdx();
     void tickDcl1();
 
+    /**
+     * Host-profiler bookkeeping (called only while prof::active()):
+     * counts components that will tick this cycle with nothing to do,
+     * the signal the event-driven-ticking arc needs to size its win.
+     */
+    void countQuiescent();
+
     mem::CacheBankParams l1BankParams() const;
     mem::CacheBankParams l2BankParams() const;
 

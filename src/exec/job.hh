@@ -29,6 +29,7 @@
 
 #include "common/types.hh"
 #include "core/gpu_system.hh"
+#include "prof/prof.hh"
 
 namespace dcl1::exec
 {
@@ -107,6 +108,14 @@ struct ExecOptions
     /** When non-empty, append one JSON record per job to this file. */
     std::string jsonlPath;
 
+    /**
+     * Install a host phase profiler (src/prof/) on each job's worker
+     * thread and publish its Report through JobResult::prof and the
+     * jobs.jsonl "prof" field. Purely observational: simulated output
+     * is byte-identical either way.
+     */
+    bool profile = false;
+
     /** Worker count a value of jobs==0 resolves to. */
     static unsigned hardwareConcurrency();
 
@@ -114,7 +123,8 @@ struct ExecOptions
      * Environment defaults: DCL1_JOBS (worker count), DCL1_JOB_BUDGET
      * (per-job cycle budget), DCL1_RETRIES (retry count),
      * DCL1_CRASH_DIR (crash-record directory), DCL1_JOBS_LOG (JSONL
-     * path). All strictly parsed.
+     * path), DCL1_PROF (any value = host phase profiling on). All
+     * strictly parsed.
      */
     static ExecOptions fromEnv();
 };
@@ -251,6 +261,10 @@ struct JobResult
     double wallMs = 0.0;      ///< host wall time of this job
     unsigned worker = 0;      ///< worker thread that executed it
     std::string timelinePath; ///< per-job timeline JSONL ("" = none)
+    /** Host phase profile of the final attempt (enabled == false
+     *  unless ExecOptions::profile was set). wallNs covers the whole
+     *  job bracket, retries included. */
+    prof::Report prof;
 };
 
 } // namespace dcl1::exec

@@ -110,6 +110,7 @@ ExecOptions::fromEnv()
         envIntOr("DCL1_RETRIES", 2, /*min_value=*/0, /*max_value=*/100));
     opts.crashDir = envStrOr("DCL1_CRASH_DIR", opts.crashDir);
     opts.jsonlPath = envStrOr("DCL1_JOBS_LOG", opts.jsonlPath);
+    opts.profile = envIsSet("DCL1_PROF");
     return opts;
 }
 
@@ -247,7 +248,14 @@ JobRunner::run(const std::vector<JobSpec> &specs)
             JobContext ctx(index, worker, budget);
             r.kind = FailureKind::None;
             r.error.clear();
+            // Fresh profiler per attempt: a retried job reports the
+            // profile of the attempt that produced its result, not a
+            // blend of failed ones.
+            std::unique_ptr<prof::Profiler> profiler;
+            if (opts_.profile)
+                profiler = std::make_unique<prof::Profiler>();
             try {
+                prof::TlsGuard prof_guard(profiler.get());
                 SimErrorTrap trap;
                 r.metrics = spec.fn(ctx);
                 r.ok = true;
@@ -266,6 +274,8 @@ JobRunner::run(const std::vector<JobSpec> &specs)
                 r.kind = FailureKind::WorkerException;
             }
             r.attempts = attempt + 1;
+            if (profiler)
+                r.prof = profiler->report();
             if (!ctx.crashContext().empty())
                 crash_context = ctx.crashContext();
             if (!ctx.timelinePath().empty())
@@ -285,6 +295,11 @@ JobRunner::run(const std::vector<JobSpec> &specs)
                 ++timeouts;
         }
         r.wallMs = msSince(job_start);
+        if (r.prof.enabled)
+            r.prof.wallNs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    HostClock::now() - job_start)
+                    .count());
 
         // Pre-publish ownership verification: if the lease was
         // reclaimed while the job ran (this process was presumed

@@ -168,6 +168,33 @@ ProgressSink::onRunEnd(const RunSummary &summary,
                              r.label.c_str(), r.timelinePath.c_str(),
                              r.ok ? "" : " [partial]");
     }
+    // Aggregate host-phase attribution over the profiled jobs: the
+    // at-a-glance answer to "where did this sweep's wall time go?"
+    // (per-job trees live in jobs.jsonl).
+    std::uint64_t self_ns[prof::kPhaseCount] = {};
+    std::uint64_t wall_ns = 0;
+    std::size_t profiled = 0;
+    for (const JobResult &r : results) {
+        if (!r.prof.enabled)
+            continue;
+        ++profiled;
+        wall_ns += r.prof.wallNs;
+        for (const prof::ReportNode &n : r.prof.nodes)
+            self_ns[static_cast<std::size_t>(n.phase)] += n.selfNs;
+    }
+    if (profiled > 0 && wall_ns > 0) {
+        std::fprintf(stderr,
+                     "[exec] host phases (%zu profiled job(s), "
+                     "%% of %.1f ms job wall time):\n",
+                     profiled, static_cast<double>(wall_ns) / 1e6);
+        for (std::size_t i = 0; i < prof::kPhaseCount; ++i)
+            if (self_ns[i] > 0)
+                std::fprintf(
+                    stderr, "[exec]   %-10s %6.1f%%\n",
+                    prof::phaseName(static_cast<prof::Phase>(i)),
+                    100.0 * static_cast<double>(self_ns[i]) /
+                        static_cast<double>(wall_ns));
+    }
 }
 
 JsonlSink::JsonlSink(std::string path) : log_(std::move(path))
@@ -180,17 +207,22 @@ JsonlSink::onJobDone(const JobResult &result)
     if (result.skipped || result.deferred)
         return;
     const core::RunMetrics &m = result.metrics;
+    // Host phase profile rides along as one nested object so fleet
+    // tooling can attribute wall time per cell without new files.
+    const std::string prof_field =
+        result.prof.enabled ? "\"prof\":" + result.prof.json() + ","
+                            : std::string();
     log_.appendLine(csprintf(
         "{\"job\":%zu,\"label\":\"%s\",\"ok\":%s,\"resumed\":%s,"
         "\"quarantined\":%s,\"kind\":\"%s\",\"attempts\":%u,"
-        "\"worker\":%u,%s"
+        "\"worker\":%u,%s%s"
         "\"wall_ms\":%.3f,\"cycles\":%llu,\"instructions\":%llu,"
         "\"ipc\":%.6f,\"error\":\"%s\",\"timeline\":\"%s\"}",
         result.index, jsonEscape(result.label).c_str(),
         result.ok ? "true" : "false", result.resumed ? "true" : "false",
         result.quarantined ? "true" : "false",
         failureKindName(result.kind), result.attempts, result.worker,
-        result.lost ? "\"lost\":true," : "",
+        result.lost ? "\"lost\":true," : "", prof_field.c_str(),
         result.wallMs, static_cast<unsigned long long>(m.cycles),
         static_cast<unsigned long long>(m.instructions), m.ipc,
         jsonEscape(result.error).c_str(),

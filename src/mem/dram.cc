@@ -5,6 +5,7 @@
 #include "check/check.hh"
 #include "check/request_ledger.hh"
 #include "common/log.hh"
+#include "prof/prof.hh"
 
 namespace dcl1::mem
 {
@@ -63,8 +64,10 @@ DramChannel::tick(Cycle now)
                 static_cast<unsigned long long>(now),
                 static_cast<unsigned long long>(lastTick_));
     DCL1_CHECK_ONLY(lastTick_ = now);
-    if (queue_.empty())
+    if (queue_.empty()) {
+        DCL1_PROF_COUNT(QuiescentDram, 1);
         return;
+    }
 
     // FR-FCFS: oldest row-hit first, else oldest request whose bank is
     // ready to start a new row cycle.

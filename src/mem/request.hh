@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "common/types.hh"
+#include "prof/prof.hh"
 #include "stats/latency_attr.hh"
 
 namespace dcl1::mem
@@ -121,6 +122,7 @@ inline MemRequestPtr
 makeRequest(MemOp op, Addr addr, std::uint32_t bytes, CoreId core,
             WarpId warp, Cycle now)
 {
+    DCL1_PROF_COUNT(MemReqAlloc, 1);
     auto r = std::make_unique<MemRequest>();
     r->op = op;
     r->addr = addr;

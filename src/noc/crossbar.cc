@@ -5,6 +5,7 @@
 #include "check/check.hh"
 #include "check/request_ledger.hh"
 #include "common/log.hh"
+#include "prof/prof.hh"
 
 namespace dcl1::noc
 {
@@ -92,6 +93,9 @@ Crossbar::hasEjectable(std::uint32_t output) const
 void
 Crossbar::tick()
 {
+    // busy() is an O(ports) scan; only pay for it while profiled.
+    if (prof::active() && !busy())
+        DCL1_PROF_COUNT(QuiescentXbar, 1);
     phase_ += params_.clockRatio;
     while (phase_ >= 1.0) {
         phase_ -= 1.0;

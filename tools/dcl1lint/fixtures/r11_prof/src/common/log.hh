@@ -1,0 +1,6 @@
+// R11 fixture: common is the bottom band.
+
+#ifndef FIXTURE_COMMON_LOG_HH
+#define FIXTURE_COMMON_LOG_HH
+
+#endif

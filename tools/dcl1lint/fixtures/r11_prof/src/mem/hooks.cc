@@ -1,0 +1,9 @@
+// R11 fixture: model code may hook into the profiler (downward
+// include) — that is the whole point of the band placement.
+
+#include "prof/prof.hh"
+
+void
+model()
+{
+}

@@ -1,0 +1,21 @@
+// R11 fixture: prof sits just above common — every tick path hooks
+// into it, so it must stay below stats and the models. Its audited
+// host-clock reads are legal here (R6 honours the annotation under
+// src/prof/).
+
+#ifndef FIXTURE_PROF_PROF_HH
+#define FIXTURE_PROF_PROF_HH
+
+#include <chrono>
+
+#include "common/log.hh"
+
+inline long
+nowNs()
+{
+    return std::chrono::steady_clock::now() // lint: wallclock-ok
+        .time_since_epoch()
+        .count();
+}
+
+#endif

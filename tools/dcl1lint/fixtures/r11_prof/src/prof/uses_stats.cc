@@ -1,0 +1,11 @@
+// R11 fixture: the profiler must not reach up into stats (the
+// chrome-trace bridge lives in stats and includes prof, never the
+// other way around).
+
+#include "stats/trace.hh" // expect: R11
+#include "prof/prof.hh"
+
+void
+profiler()
+{
+}

@@ -1,0 +1,9 @@
+// R11 fixture: stats sits above prof and may include it freely (the
+// chrome-trace bridge exports host phase reports).
+
+#ifndef FIXTURE_STATS_TRACE_HH
+#define FIXTURE_STATS_TRACE_HH
+
+#include "prof/prof.hh"
+
+#endif

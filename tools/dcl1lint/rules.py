@@ -240,8 +240,9 @@ class WallclockRule:
     token = "wallclock-ok"
     severity = "error"
     description = ("wall-clock reads inside src/ break determinism. "
-                   "The execution engine (src/exec/ only) times the "
-                   "*host* by design; its audited sites carry "
+                   "The execution engine (src/exec/) and the host "
+                   "phase profiler (src/prof/) time the *host* by "
+                   "design; their audited sites carry "
                    "`lint: wallclock-ok`, honoured there and nowhere "
                    "else.")
     RE = re.compile(
@@ -252,19 +253,20 @@ class WallclockRule:
     def check(self, model, ctx):
         if not _in_src(model):
             return
-        in_exec = model.parts[:2] == ("src", "exec")
+        in_host_band = model.parts[:2] in (("src", "exec"),
+                                           ("src", "prof"))
         for idx, code in enumerate(model.code):
             ln = idx + 1
             if not self.RE.search(code):
                 continue
             annotated = model.suppressed(self.token, ln)
-            if annotated and in_exec:
+            if annotated and in_host_band:
                 continue
             yield _finding(
                 self, model, ln,
                 "wall-clock time in simulation code breaks "
                 f"determinism (`lint: {self.token}` is honoured only "
-                "under src/exec/)" if annotated else
+                "under src/exec/ and src/prof/)" if annotated else
                 "wall-clock time in simulation code breaks "
                 "determinism")
 
@@ -443,11 +445,13 @@ class LayeringRule:
     """R11: the include graph must respect the architecture bands.
 
     A file may include headers from its own band or any band below it.
-    The bands mirror the real architecture: common and stats are
-    substrate everything instruments through; the models (mem, noc,
-    workload) and the check instrumentation they call into form one
-    band (check speaks mem::MemRequest, mem instruments through the
-    request ledger — that mutual coupling is why they share a band);
+    The bands mirror the real architecture: common, the host phase
+    profiler (prof — every tick path hooks into it, so it must sit
+    below them all) and stats are substrate everything instruments
+    through; the models (mem, noc, workload) and the check
+    instrumentation they call into form one band (check speaks
+    mem::MemRequest, mem instruments through the request ledger —
+    that mutual coupling is why they share a band);
     gpucore composes mem+noc, core assembles systems, power models on
     top of core runs, exec drives whole systems, serve orchestrates
     multi-job traffic over exec-driven systems, and the entry points
@@ -460,12 +464,13 @@ class LayeringRule:
     token = "layering-ok"
     severity = "error"
     description = ("an #include may only reach into the same or a "
-                   "lower architecture band (common → stats → "
+                   "lower architecture band (common → prof → stats → "
                    "{mem, noc, workload, check} → gpucore → core → "
                    "power → exec → serve → {tools, bench}); "
                    "file-level include cycles are always errors.")
     BANDS = [
         ("common",),
+        ("prof",),
         ("stats",),
         ("mem", "noc", "workload", "check"),
         ("gpucore",),

@@ -162,7 +162,7 @@ def run_cli_edges(tmp):
 def main():
     fixtures = sorted(
         d for d in FIXTURES.iterdir() if d.is_dir())
-    check(len(fixtures) >= 15,
+    check(len(fixtures) >= 16,
           f"expected at least one fixture per rule, found "
           f"{len(fixtures)}")
     print(f"dcl1lint selftest: {len(fixtures)} fixtures")

@@ -32,6 +32,11 @@
  *   --trace           Chrome trace-event export to trace.json
  *                     (--trace-out=FILE renames it); implies --latency
  *   --drain           drain in-flight traffic after the run and report
+ *   --profile[=FILE]  host phase profiling (src/prof/): self/total
+ *                     wall-time table on stderr; FILE gets the full
+ *                     JSON report (atomic). DCL1_PROF=1 equivalent.
+ *                     Combined with --trace, host phase slices ride
+ *                     along in the Chrome trace.
  *   --budget=N        fail the run after N simulated cycles (watchdog)
  *   --jsonl=FILE      append a JSON run record (timing, outcome)
  *   --crash-dir=DIR   write a structured crash record on failure
@@ -66,6 +71,7 @@
 #include "exec/exit_codes.hh"
 #include "exec/job_runner.hh"
 #include "exec/result_sink.hh"
+#include "stats/prof_trace.hh"
 #include "workload/app_catalog.hh"
 #include "workload/trace_file.hh"
 
@@ -96,6 +102,8 @@ struct Options
     std::string jsonlFile;
     std::string crashDir;
     std::string replayCrash;
+    bool profile = false;
+    std::string profileFile;
     bool drain = false;
     bool listApps = false;
     bool listDesigns = false;
@@ -169,7 +177,12 @@ parseArgs(int argc, char **argv)
             o.crashDir = *v;
         else if (auto v = valueOf(a, "--replay-crash"))
             o.replayCrash = *v;
-        else if (std::strcmp(a, "--drain") == 0)
+        else if (std::strcmp(a, "--profile") == 0)
+            o.profile = true;
+        else if (auto v = valueOf(a, "--profile")) {
+            o.profile = true;
+            o.profileFile = *v;
+        } else if (std::strcmp(a, "--drain") == 0)
             o.drain = true;
         else if (std::strcmp(a, "--list-apps") == 0)
             o.listApps = true;
@@ -211,6 +224,8 @@ printHelp()
         "  --trace           Chrome trace export to trace.json "
         "(--trace-out=FILE)\n"
         "  --drain           drain in-flight traffic and report\n"
+        "  --profile[=FILE]  host phase profile: table on stderr, "
+        "JSON to FILE\n"
         "  --budget=N        simulated-cycle watchdog\n"
         "  --jsonl=FILE      append a JSON run record\n"
         "  --crash-dir=DIR   crash record on failure (DCL1_CRASH_DIR)\n"
@@ -334,6 +349,7 @@ main(int argc, char **argv)
     eopts.crashDir = o.crashDir;
     if (eopts.crashDir.empty())
         eopts.crashDir = envStrOr("DCL1_CRASH_DIR", "");
+    eopts.profile = o.profile || envIsSet("DCL1_PROF");
     exec::JobRunner runner(eopts);
     std::unique_ptr<exec::JsonlSink> jsonl;
     if (!o.jsonlFile.empty()) {
@@ -415,6 +431,15 @@ main(int argc, char **argv)
     // Host timing is observability, not simulation output: stderr, so
     // same-seed stdout stays byte-identical across runs.
     std::fprintf(stderr, "host time  %.1f ms\n", results[0].wallMs);
+    if (results[0].prof.enabled) {
+        results[0].prof.writeTable(stderr);
+        if (!o.profileFile.empty()) {
+            exec::AtomicFileWriter out(o.profileFile);
+            out.stream() << results[0].prof.json() << "\n";
+            out.commit();
+            inform("profile written to %s", o.profileFile.c_str());
+        }
+    }
 
     if (o.drain) {
         const bool ok = gpu->drain();
@@ -444,6 +469,10 @@ main(int argc, char **argv)
         }
     }
     if (trace_export) {
+        // Host phase slices ride along on their own track when both
+        // --trace and --profile are on.
+        if (results[0].prof.enabled)
+            stats::exportHostPhases(*trace_export, results[0].prof);
         exec::AtomicFileWriter out(o.traceOutFile);
         trace_export->writeJson(out.stream());
         out.commit();

@@ -144,6 +144,11 @@ printHelp()
         "  --out=FILE         CSV output ('-' = stdout; files are\n"
         "                     published atomically via tmp+rename)\n"
         "  --jobs=N           worker threads (DCL1_JOBS; 0 = #cores)\n"
+        "  --profile          host phase profiling (DCL1_PROF): "
+        "per-cell\n"
+        "                     trees in --jsonl records, aggregate "
+        "phase\n"
+        "                     shares on stderr; CSV is unchanged\n"
         "  --budget=N         per-cell simulated-cycle watchdog\n"
         "                     (DCL1_JOB_BUDGET)\n"
         "  --retries=N        retries for retryable failures, with a\n"
@@ -261,6 +266,8 @@ main(int argc, char **argv)
             interrupt_after = static_cast<std::size_t>(parseEnvInt(
                 "--interrupt-after", a.substr(18).c_str(), 1,
                 std::numeric_limits<std::int64_t>::max()));
+        else if (a == "--profile")
+            eopts.profile = true;
         else if (a == "--worker")
             worker_mode = true;
         else if (a.rfind("--worker-id=", 0) == 0)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json host-performance artifacts.
+
+Usage:
+    perfdiff.py BASELINE.json CURRENT.json [options]
+    perfdiff.py --selftest
+
+Options:
+    --tolerance=F   relative slowdown allowed before a design counts
+                    as a regression (default 0.15; an injected 20 %
+                    slowdown must always trip the default gate)
+    --warn-only     report regressions but exit 0 (CI trend lane on
+                    shared runners, where absolute rates are noisy)
+    --selftest      run the built-in checks (no files needed)
+
+Exit codes:
+    0  no regression (or --warn-only)
+    1  at least one design regressed beyond tolerance
+    2  usage / file / schema error
+
+Comparison model: designs are matched by name on sim_cycles_per_sec
+(the run-loop rate, build excluded). A design present on only one
+side is reported but never fails the gate — the pinned set may grow.
+A fingerprint mismatch (different CPU, core count, compiler, or
+DCL1_CHECK flavor) downgrades every regression to a warning, because
+cross-machine rates do not obey any tolerance band worth enforcing;
+the variance policy lives in examples/perf/README.md.
+"""
+
+import json
+import sys
+
+
+def die(msg):
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+SCHEMA = "dcl1-perf-v1"
+DEFAULT_TOLERANCE = 0.15
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"perfdiff: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        die(f"perfdiff: {path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    return doc
+
+
+def by_design(doc):
+    return {d["design"]: d for d in doc.get("designs", [])}
+
+
+def fingerprints_match(a, b):
+    fa, fb = a.get("fingerprint", {}), b.get("fingerprint", {})
+    return all(fa.get(k) == fb.get(k)
+               for k in ("cpu", "cores", "compiler", "checks"))
+
+
+def compare(base, cur, tolerance):
+    """Return (lines, regressions) comparing cur against base."""
+    lines, regressions = [], []
+    bd, cd = by_design(base), by_design(cur)
+    for name in sorted(set(bd) | set(cd)):
+        if name not in bd:
+            lines.append(f"  {name:<18} NEW (no baseline)")
+            continue
+        if name not in cd:
+            lines.append(f"  {name:<18} MISSING from current run")
+            continue
+        old = bd[name]["sim_cycles_per_sec"]
+        new = cd[name]["sim_cycles_per_sec"]
+        if old <= 0:
+            lines.append(f"  {name:<18} baseline rate <= 0, skipped")
+            continue
+        rel = (new - old) / old
+        tag = "ok"
+        if rel < -tolerance:
+            tag = "REGRESSION"
+            regressions.append((name, rel))
+        elif rel > tolerance:
+            tag = "improved"
+        lines.append(
+            f"  {name:<18} {old:14.0f} -> {new:14.0f} cyc/s "
+            f"({rel:+7.1%})  {tag}")
+    return lines, regressions
+
+
+def selftest():
+    def doc(rates):
+        return {
+            "schema": SCHEMA,
+            "fingerprint": {"cpu": "x", "cores": 8,
+                            "compiler": "g", "checks": False},
+            "designs": [
+                {"design": n, "sim_cycles_per_sec": r}
+                for n, r in rates.items()
+            ],
+        }
+
+    base = doc({"Baseline": 1e6, "Sh40": 2e6})
+    # 20 % slowdown on one design must trip the default gate.
+    slow = doc({"Baseline": 0.8e6, "Sh40": 2e6})
+    _, regs = compare(base, slow, DEFAULT_TOLERANCE)
+    assert [r[0] for r in regs] == ["Baseline"], regs
+    # Inside the band: no regression.
+    ok = doc({"Baseline": 0.9e6, "Sh40": 2.1e6})
+    _, regs = compare(base, ok, DEFAULT_TOLERANCE)
+    assert regs == [], regs
+    # Speedups never fail.
+    fast = doc({"Baseline": 2e6, "Sh40": 4e6})
+    _, regs = compare(base, fast, DEFAULT_TOLERANCE)
+    assert regs == [], regs
+    # New/missing designs never fail.
+    grown = doc({"Baseline": 1e6, "Sh40": 2e6, "CDXBar": 1e6})
+    _, regs = compare(base, grown, DEFAULT_TOLERANCE)
+    assert regs == [], regs
+    _, regs = compare(grown, base, DEFAULT_TOLERANCE)
+    assert regs == [], regs
+    # Fingerprint comparison.
+    other = doc({"Baseline": 1e6})
+    other["fingerprint"]["cpu"] = "y"
+    assert fingerprints_match(base, base)
+    assert not fingerprints_match(base, other)
+    print("perfdiff selftest: all checks passed")
+    return 0
+
+
+def main(argv):
+    tolerance = DEFAULT_TOLERANCE
+    warn_only = False
+    paths = []
+    for a in argv[1:]:
+        if a == "--selftest":
+            return selftest()
+        if a == "--warn-only":
+            warn_only = True
+        elif a.startswith("--tolerance="):
+            try:
+                tolerance = float(a.split("=", 1)[1])
+            except ValueError:
+                die(f"perfdiff: bad tolerance in {a!r}")
+            if not 0 < tolerance < 1:
+                die("perfdiff: tolerance must be in (0,1)")
+        elif a.startswith("-"):
+            die(f"perfdiff: unknown option {a!r}")
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        die(__doc__.strip())
+
+    base, cur = load(paths[0]), load(paths[1])
+    same_machine = fingerprints_match(base, cur)
+    lines, regressions = compare(base, cur, tolerance)
+
+    print(f"perfdiff: {paths[0]} -> {paths[1]} "
+          f"(tolerance {tolerance:.0%})")
+    for line in lines:
+        print(line)
+    if not same_machine:
+        print("perfdiff: WARNING: fingerprints differ "
+              f"({base.get('fingerprint')} vs {cur.get('fingerprint')}); "
+              "rates are not comparable, regressions downgraded to "
+              "warnings")
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(f"perfdiff: {len(regressions)} design(s) regressed "
+              f"(worst: {worst[0]} {worst[1]:+.1%})")
+        if warn_only or not same_machine:
+            print("perfdiff: warn-only: not failing the gate")
+            return 0
+        return 1
+    print("perfdiff: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
